@@ -1,0 +1,100 @@
+// Command clattack reproduces the paper's §IV-F algebraic-attack
+// analysis: the equation/unknown counting of Eqs. 1-4, the
+// relinearization check m < n(n-1)/2, and a miniature SAT experiment
+// on a truncated version of the OTP combining circuit showing the
+// exponential blow-up that left MiniSat stuck for two months at the
+// real 128-bit width.
+//
+// Usage:
+//
+//	clattack                  # counting analysis + SAT demo at widths 4 and 8
+//	clattack -alpha 4 -c 8    # counting analysis for a custom system
+//	clattack -maxdecisions N  # SAT search budget (default 200000)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"counterlight/internal/attack"
+)
+
+func main() {
+	alpha := flag.Int("alpha", 2, "number of memory blocks with observed OTPs")
+	c := flag.Int("c", 2, "number of counter values shared by those blocks")
+	maxDec := flag.Uint64("maxdecisions", 200_000, "SAT search budget before giving up")
+	flag.Parse()
+
+	s := attack.SystemSize{Alpha: *alpha, C: *c}
+	fmt.Printf("=== Algebraic system for alpha=%d blocks sharing c=%d counters (Sec. IV-F) ===\n", s.Alpha, s.C)
+	fmt.Printf("boolean unknowns   n = 128(a+c)          = %d\n", s.Unknowns())
+	fmt.Printf("boolean equations  m = 128*a*c           = %d\n", s.Equations())
+	fmt.Printf("formally solvable (m >= n):                %v\n", s.Solvable())
+	fmt.Printf("MQ-form equations  m = 760*a*c + 160(a+c) = %d\n", s.MQEquations())
+	fmt.Printf("MQ-form unknowns   n >= 128(a+c)          = %d\n", s.MQUnknownsLowerBound())
+	n := s.MQUnknownsLowerBound()
+	fmt.Printf("relinearization needs m >= n(n-1)/2 = %d:  applies = %v\n", n*(n-1)/2, s.RelinearizationApplies())
+	fmt.Println()
+
+	fmt.Println("=== Exhaustive check: relinearization never applies for alpha,c in [1,64] ===")
+	bad := 0
+	for a := 1; a <= 64; a++ {
+		for cc := 1; cc <= 64; cc++ {
+			if (attack.SystemSize{Alpha: a, C: cc}).RelinearizationApplies() {
+				bad++
+			}
+		}
+	}
+	fmt.Printf("systems where the polynomial-time MQ attack applies: %d / 4096\n\n", bad)
+
+	fmt.Println("=== SAT experiment on the truncated combining circuit (alpha=c=2) ===")
+	fmt.Println("width  vars   clauses  result   decisions  time")
+	for _, w := range []int{4, 8, 16} {
+		inst, err := attack.BuildInstance(2, 2, w, 42)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clattack: %v\n", err)
+			os.Exit(1)
+		}
+		solver := attack.NewSolver(inst.CNF)
+		solver.MaxDecisions = *maxDec
+		start := time.Now()
+		res := solver.Solve()
+		elapsed := time.Since(start)
+		status := map[attack.SolveResult]string{
+			attack.Sat: "SAT", attack.Unsat: "UNSAT", attack.Aborted: "GAVE UP",
+		}[res]
+		verified := ""
+		if res == attack.Sat {
+			if inst.VerifySolution(solver.Assignment()) {
+				verified = " (recovered AES words reproduce all OTPs)"
+			} else {
+				verified = " (MODEL INVALID)"
+			}
+		}
+		fmt.Printf("%5d  %5d  %7d  %-7s  %9d  %v%s\n",
+			w, inst.CNF.NumVars, len(inst.CNF.Clauses), status, solver.Decisions, elapsed.Round(time.Millisecond), verified)
+	}
+	fmt.Println("\nThe real circuit has width 128: the same search that succeeds in")
+	fmt.Println("milliseconds at width 4 exhausts its budget a few doublings later,")
+	fmt.Println("mirroring the paper's two-month MiniSat run that never finished.")
+
+	fmt.Println("\n=== Contrast: a LINEAR combiner falls to Gaussian elimination ===")
+	fmt.Println("width  alpha  c  equations  unknowns  free  recovered  time")
+	for _, cfg := range []struct{ w, a, c int }{{16, 2, 2}, {64, 4, 4}, {64, 8, 8}} {
+		inst, err := attack.BuildLinearInstance(cfg.a, cfg.c, cfg.w, 42)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clattack: %v\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		res := attack.LinearBreak(inst)
+		fmt.Printf("%5d  %5d  %d  %9d  %8d  %4d  %-9v  %v\n",
+			cfg.w, cfg.a, cfg.c, res.Equations, res.Unknowns, res.FreeVars,
+			res.Recovered, time.Since(start).Round(time.Microsecond))
+	}
+	fmt.Println("\nA linear OTP combiner is broken in microseconds even at full width;")
+	fmt.Println("this is why Counter-light replaces RMCC's (log-)linear carry-less")
+	fmt.Println("multiply with barrel shifting + S-box confusion (Fig. 15b).")
+}

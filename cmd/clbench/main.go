@@ -1,0 +1,82 @@
+// Command clbench regenerates the paper's tables and figures on the
+// simulator and prints them as text tables.
+//
+// Usage:
+//
+//	clbench                 # run everything (paper order)
+//	clbench -fig 16         # one figure: 3, 5, 8, 9, 16..23, A (no-switch ablation), M (memo ablation), T (Table I)
+//	clbench -quick          # halved measurement windows (~2x faster)
+//	clbench -v              # log each simulation as it starts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"counterlight/internal/figures"
+)
+
+func main() {
+	figFlag := flag.String("fig", "", "figure to regenerate (3,5,8,9,16,17,18,19,20,21,22,23,A,M,T,E); empty = all")
+	quick := flag.Bool("quick", false, "halve the simulation windows")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	verbose := flag.Bool("v", false, "log each simulation run")
+	flag.Parse()
+
+	r := figures.NewRunner(*quick)
+	if *verbose {
+		r.Log = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	gens := map[string]func() (figures.Figure, error){
+		"3":  r.Sec3Micro,
+		"5":  r.Fig5,
+		"8":  r.Fig8,
+		"9":  r.Fig9,
+		"16": r.Fig16,
+		"17": r.Fig17,
+		"18": r.Fig18,
+		"19": r.Fig19,
+		"20": r.Fig20,
+		"21": r.Fig21,
+		"22": r.Fig22,
+		"23": r.Fig23,
+		"A":  r.AblationNoSwitch,
+		"M":  r.AblationMemo,
+		"T":  func() (figures.Figure, error) { return figures.TableI(), nil },
+		"E":  func() (figures.Figure, error) { return figures.SecIVE(0) },
+	}
+
+	if *figFlag != "" {
+		gen, ok := gens[*figFlag]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "clbench: unknown figure %q\n", *figFlag)
+			os.Exit(2)
+		}
+		fig, err := gen()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(fig.CSV())
+		} else {
+			fmt.Println(fig)
+		}
+		return
+	}
+
+	all, err := r.All()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, fig := range all {
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", fig.ID, fig.Title, fig.CSV())
+		} else {
+			fmt.Println(fig)
+		}
+	}
+}

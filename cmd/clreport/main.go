@@ -1,0 +1,38 @@
+// Command clreport runs the reproduction scorecard: it regenerates the
+// paper's experiments and grades each headline number against the
+// published value, printing PASS / CLOSE / DEVIATES per check.
+//
+// Usage:
+//
+//	clreport          # full windows (the numbers EXPERIMENTS.md cites)
+//	clreport -quick   # halved windows, ~2x faster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"counterlight/internal/figures"
+	"counterlight/internal/scorecard"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "halve the simulation windows")
+	verbose := flag.Bool("v", false, "log each simulation run")
+	flag.Parse()
+
+	r := figures.NewRunner(*quick)
+	if *verbose {
+		r.Log = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	rep, err := scorecard.Build(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep)
+	if rep.Passed() < len(rep.Checks)/2 {
+		os.Exit(1)
+	}
+}

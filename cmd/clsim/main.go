@@ -1,0 +1,166 @@
+// Command clsim runs one workload under one memory-encryption scheme
+// on the Table I system and prints the measurement window's results.
+//
+// Usage:
+//
+//	clsim -workload omnetpp -scheme counterlight
+//	clsim -workload mcf -scheme counterless -bw 6.4 -aes256
+//	clsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"counterlight/internal/core"
+	"counterlight/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "mcf", "workload name (see -list)")
+	scheme := flag.String("scheme", "counterlight", "noenc | counterless | countermode | countermode-single | counterlight")
+	bw := flag.Float64("bw", 25.6, "DRAM bandwidth in GB/s")
+	aes256 := flag.Bool("aes256", false, "use AES-256 latency (14 ns) instead of AES-128 (10 ns)")
+	threshold := flag.Float64("threshold", 0.60, "epoch bandwidth utilization threshold")
+	noSwitch := flag.Bool("noswitch", false, "disable dynamic mode switching (ablation)")
+	noPrefetch := flag.Bool("noprefetch", false, "disable prefetchers")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	list := flag.Bool("list", false, "list workloads and exit")
+	asJSON := flag.Bool("json", false, "emit the result as JSON")
+	baseline := flag.Bool("baseline", false, "also run the no-encryption baseline and report normalized performance")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("irregular (paper's primary set):")
+		for _, w := range trace.IrregularSet() {
+			fmt.Printf("  %s\n", w.Name)
+		}
+		fmt.Println("regular (Fig. 23 set):")
+		for _, w := range trace.RegularSet() {
+			fmt.Printf("  %s\n", w.Name)
+		}
+		fmt.Printf("micro (Sec. III):\n  %s\n", trace.MicroPointerChase().Name)
+		return
+	}
+
+	schemes := map[string]core.Scheme{
+		"noenc":              core.NoEnc,
+		"counterless":        core.Counterless,
+		"countermode":        core.CounterMode,
+		"countermode-single": core.CounterModeSingle,
+		"counterlight":       core.CounterLight,
+	}
+	sc, ok := schemes[*scheme]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "clsim: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	w, ok := trace.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "clsim: unknown workload %q (try -list)\n", *workload)
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig(sc)
+	cfg.BandwidthGBs = *bw
+	cfg.Threshold = *threshold
+	cfg.DynamicSwitch = !*noSwitch
+	cfg.PrefetchEnabled = !*noPrefetch
+	cfg.Seed = *seed
+	if *aes256 {
+		cfg = cfg.WithAES256()
+	}
+
+	res, err := core.Run(cfg, w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		out := jsonResult{
+			Workload:       res.Workload,
+			Scheme:         res.Scheme.String(),
+			WindowPS:       res.WindowPS,
+			Instructions:   res.Instructions,
+			IPC:            res.IPC,
+			LLCMisses:      res.LLCMisses,
+			LLCWritebacks:  res.LLCWritebacks,
+			AvgMissLatNS:   res.AvgMissLatNS,
+			DRAMReads:      res.DRAM.Reads,
+			DRAMWrites:     res.DRAM.Writes,
+			RowHits:        res.DRAM.RowHits,
+			RowMisses:      res.DRAM.RowMisses,
+			RowConflicts:   res.DRAM.RowConflicts,
+			BusUtilization: res.BusUtilization,
+			EnergyPerInst:  res.EnergyPerInst,
+			MemoHitRate:    res.MemoHitRate,
+			CounterLate:    res.CounterLateFrac,
+			WBCounterless:  res.CounterlessWBFraction(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "clsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	printResult(res)
+
+	if *baseline {
+		cfg.Scheme = core.NoEnc
+		base, err := core.Run(cfg, w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clsim: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nnormalized performance vs no encryption: %.3f\n", res.PerfNormalizedTo(base))
+		fmt.Printf("LLC miss latency overhead: %+.1f ns\n", res.AvgMissLatNS-base.AvgMissLatNS)
+	}
+}
+
+// jsonResult is the stable machine-readable result shape.
+type jsonResult struct {
+	Workload       string  `json:"workload"`
+	Scheme         string  `json:"scheme"`
+	WindowPS       int64   `json:"window_ps"`
+	Instructions   uint64  `json:"instructions"`
+	IPC            float64 `json:"ipc_per_core"`
+	LLCMisses      uint64  `json:"llc_misses"`
+	LLCWritebacks  uint64  `json:"llc_writebacks"`
+	AvgMissLatNS   float64 `json:"avg_miss_latency_ns"`
+	DRAMReads      uint64  `json:"dram_reads"`
+	DRAMWrites     uint64  `json:"dram_writes"`
+	RowHits        uint64  `json:"row_hits"`
+	RowMisses      uint64  `json:"row_misses"`
+	RowConflicts   uint64  `json:"row_conflicts"`
+	BusUtilization float64 `json:"bus_utilization"`
+	EnergyPerInst  float64 `json:"energy_per_instruction_pj"`
+	MemoHitRate    float64 `json:"memo_hit_rate"`
+	CounterLate    float64 `json:"counter_late_fraction"`
+	WBCounterless  float64 `json:"counterless_wb_fraction"`
+}
+
+func printResult(r core.Result) {
+	fmt.Printf("workload:              %s\n", r.Workload)
+	fmt.Printf("scheme:                %s\n", r.Scheme)
+	fmt.Printf("window:                %.1f ms\n", float64(r.WindowPS)/1e9)
+	fmt.Printf("instructions:          %d (IPC %.3f/core)\n", r.Instructions, r.IPC)
+	fmt.Printf("LLC misses:            %d (avg latency %.1f ns)\n", r.LLCMisses, r.AvgMissLatNS)
+	fmt.Printf("LLC writebacks:        %d\n", r.LLCWritebacks)
+	fmt.Printf("DRAM reads/writes:     %d / %d\n", r.DRAM.Reads, r.DRAM.Writes)
+	fmt.Printf("row hit/miss/conflict: %d / %d / %d\n", r.DRAM.RowHits, r.DRAM.RowMisses, r.DRAM.RowConflicts)
+	fmt.Printf("bus utilization:       %.1f%%\n", 100*r.BusUtilization)
+	fmt.Printf("energy/instruction:    %.1f pJ\n", r.EnergyPerInst)
+	if r.MemoHitRate > 0 {
+		fmt.Printf("memo hit rate:         %.1f%%\n", 100*r.MemoHitRate)
+	}
+	if r.CounterLateHist.Total() > 0 {
+		fmt.Printf("counter late:          %.1f%% of misses\n", 100*r.CounterLateFrac)
+	}
+	if r.WBTotal > 0 {
+		fmt.Printf("counterless WBs:       %.1f%%\n", 100*r.CounterlessWBFraction())
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: the Counter-light functional engine in a dozen lines.
+//
+// The Engine is the paper's memory controller: it encrypts 64-byte
+// blocks on writeback (counter mode or counterless, as the epoch
+// monitor would decide), encodes each block's EncryptionMetadata into
+// its chipkill ECC, and on reads decodes the metadata, verifies the
+// MAC, and decrypts — correcting single-chip faults along the way.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"counterlight/internal/cipher"
+	"counterlight/internal/core"
+	"counterlight/internal/epoch"
+)
+
+func main() {
+	engine, err := core.NewEngine(core.DefaultEngineOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A block of "application data".
+	var plain cipher.Block
+	copy(plain[:], []byte("counter-light memory encryption!"))
+
+	// Writeback in counter mode: the counter advances, the integrity
+	// tree updates, and the counter value rides along in the ECC.
+	const addr = 0x1000
+	if err := engine.Write(addr, plain, epoch.CounterMode); err != nil {
+		log.Fatal(err)
+	}
+
+	// Read it back: metadata decodes from the parity, the memoization
+	// table supplies the counter-AES result, the MAC verifies.
+	got, info, err := engine.Read(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back: %q\n", string(got[:32]))
+	fmt.Printf("mode=%v memoHit=%v corrected=%v\n", info.Mode, info.MemoHit, info.Corrected)
+
+	// A bandwidth-pressured epoch would switch the next writeback to
+	// counterless mode — per block, no re-encryption of anything else.
+	if err := engine.Write(addr, plain, epoch.Counterless); err != nil {
+		log.Fatal(err)
+	}
+	_, info, err = engine.Read(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after counterless writeback: mode=%v\n", info.Mode)
+
+	// Chipkill in action: kill one DRAM chip's worth of the block.
+	if err := engine.InjectFault(addr, 3, 0xDEADBEEF); err != nil {
+		log.Fatal(err)
+	}
+	got, info, err = engine.Read(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after chip fault: data intact=%v, corrected chip %d\n",
+		string(got[:32]) == "counter-light memory encryption!", info.BadChip)
+}

@@ -1,0 +1,3 @@
+module counterlight
+
+go 1.24

@@ -1,0 +1,62 @@
+// Package attack models the algebraic attack analysis of paper §IV-F.
+//
+// An attacker who observes one-time pads (e.g. via known plaintext)
+// for α memory blocks that shared c counter values can write boolean
+// equations relating the unknown 128-bit counter-only and address-only
+// AES results to the observed OTP bits. The paper counts unknowns and
+// equations (Eqs. 1-4), converts the system to multivariate-quadratic
+// (MQ) form, and shows m < n(n-1)/2, so the polynomial-time
+// relinearization attack does not apply; a SAT solver on the CNF form
+// made no progress in two months.
+//
+// This package reproduces the counting analysis exactly, generates the
+// CNF instances for a (truncated) version of the real combining
+// circuit, and includes a small DPLL SAT solver whose exponential
+// scaling on those instances demonstrates the blow-up in miniature.
+package attack
+
+// SystemSize describes an algebraic system for α blocks sharing c
+// counter values.
+type SystemSize struct {
+	Alpha int // memory blocks with observed OTPs
+	C     int // distinct counter values shared by those blocks
+}
+
+// Unknowns returns n = 128(α + c): each AES result contributes 128
+// unknown bits (Eq. 1).
+func (s SystemSize) Unknowns() int { return 128 * (s.Alpha + s.C) }
+
+// Equations returns m = 128·α·c: each (block, counter) pair yields a
+// 128-bit OTP, each bit one boolean equation (Eq. 2).
+func (s SystemSize) Equations() int { return 128 * s.Alpha * s.C }
+
+// MQEquations returns the equation count after conversion to
+// multivariate-quadratic form: m = 760·α·c + 160(α + c) (Eq. 3).
+func (s SystemSize) MQEquations() int {
+	return 760*s.Alpha*s.C + 160*(s.Alpha+s.C)
+}
+
+// MQUnknownsLowerBound returns the paper's lower bound on MQ-form
+// variables: n ≥ 128(α + c) (Eq. 4; conversion only adds variables).
+func (s SystemSize) MQUnknownsLowerBound() int { return 128 * (s.Alpha + s.C) }
+
+// Solvable reports whether the plain (pre-MQ) system is formally
+// solvable, i.e. has at least as many equations as unknowns. The
+// simplest solvable case is α = c = 2 (m = n = 512).
+func (s SystemSize) Solvable() bool {
+	return s.Equations() >= s.Unknowns()
+}
+
+// RelinearizationApplies reports whether the polynomial-time MQ attack
+// of Thomae-Wolf applies: it requires m ≥ n(n-1)/2. The paper's
+// conclusion is that it never does for this construction.
+func (s SystemSize) RelinearizationApplies() bool {
+	n := s.MQUnknownsLowerBound()
+	// Compare against the most attacker-favourable case: the FEWEST
+	// unknowns (the lower bound) and the full MQ equation count.
+	return s.MQEquations() >= n*(n-1)/2
+}
+
+// MinimalSolvableCase returns the smallest solvable system (α=2, c=2),
+// the case the paper fed to MiniSat for two months without success.
+func MinimalSolvableCase() SystemSize { return SystemSize{Alpha: 2, C: 2} }

@@ -1,0 +1,323 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Eq. 1/2 counting: the paper's numbers for the simplest solvable case.
+func TestSystemSizeCounting(t *testing.T) {
+	s := MinimalSolvableCase()
+	if s.Alpha != 2 || s.C != 2 {
+		t.Fatalf("minimal case = %+v", s)
+	}
+	if n := s.Unknowns(); n != 512 {
+		t.Errorf("unknowns = %d, want 512", n)
+	}
+	if m := s.Equations(); m != 512 {
+		t.Errorf("equations = %d, want 512", m)
+	}
+	if !s.Solvable() {
+		t.Error("α=c=2 must be formally solvable")
+	}
+	// α=1 or c=1 is underdetermined.
+	if (SystemSize{Alpha: 1, C: 2}).Solvable() {
+		t.Error("α=1,c=2 should be underdetermined (m=256 < n=384)")
+	}
+}
+
+// Eq. 3: MQ equation count.
+func TestMQCounting(t *testing.T) {
+	s := SystemSize{Alpha: 2, C: 2}
+	if m := s.MQEquations(); m != 760*4+160*4 {
+		t.Errorf("MQ equations = %d, want %d", m, 760*4+160*4)
+	}
+	if n := s.MQUnknownsLowerBound(); n != 512 {
+		t.Errorf("MQ unknowns lower bound = %d, want 512", n)
+	}
+}
+
+// The paper's conclusion: relinearization (m >= n(n-1)/2) never
+// applies, for any α, c an attacker could set up.
+func TestRelinearizationNeverApplies(t *testing.T) {
+	for alpha := 1; alpha <= 64; alpha++ {
+		for c := 1; c <= 64; c++ {
+			s := SystemSize{Alpha: alpha, C: c}
+			if s.RelinearizationApplies() {
+				t.Fatalf("relinearization applies at α=%d c=%d: m=%d n=%d",
+					alpha, c, s.MQEquations(), s.MQUnknownsLowerBound())
+			}
+		}
+	}
+	// Sanity: the check itself is not a tautology — a dense-enough
+	// fake system would pass it.
+	fake := SystemSize{Alpha: 2, C: 2}
+	if n := fake.MQUnknownsLowerBound(); fake.MQEquations() >= n*(n-1)/2 {
+		t.Skip("unreachable")
+	}
+}
+
+// CNF gate encodings must match their boolean semantics exhaustively.
+func TestGateEncodings(t *testing.T) {
+	check := func(name string, build func(f *CNF, a, b int) int, truth func(a, b bool) bool) {
+		for av := 0; av < 2; av++ {
+			for bv := 0; bv < 2; bv++ {
+				f := &CNF{}
+				a, b := f.NewVar(), f.NewVar()
+				o := build(f, a, b)
+				// Force inputs.
+				f.Unit(sign(a, av == 1))
+				f.Unit(sign(b, bv == 1))
+				want := truth(av == 1, bv == 1)
+				f.Unit(sign(o, want))
+				s := NewSolver(f)
+				if s.Solve() != Sat {
+					t.Errorf("%s(%d,%d)=%v rejected", name, av, bv, want)
+				}
+				// The wrong output value must be unsatisfiable.
+				f2 := &CNF{}
+				a2, b2 := f2.NewVar(), f2.NewVar()
+				o2 := build(f2, a2, b2)
+				f2.Unit(sign(a2, av == 1))
+				f2.Unit(sign(b2, bv == 1))
+				f2.Unit(sign(o2, !want))
+				if NewSolver(f2).Solve() != Unsat {
+					t.Errorf("%s(%d,%d)=%v wrongly accepted", name, av, bv, !want)
+				}
+			}
+		}
+	}
+	check("xor", func(f *CNF, a, b int) int { return f.XOR2(a, b) }, func(a, b bool) bool { return a != b })
+	check("and", func(f *CNF, a, b int) int { return f.AND2(a, b) }, func(a, b bool) bool { return a && b })
+	check("or", func(f *CNF, a, b int) int { return f.OR2(a, b) }, func(a, b bool) bool { return a || b })
+}
+
+func sign(v int, val bool) int {
+	if val {
+		return v
+	}
+	return -v
+}
+
+func TestMUXEncoding(t *testing.T) {
+	for sel := 0; sel < 2; sel++ {
+		for av := 0; av < 2; av++ {
+			for bv := 0; bv < 2; bv++ {
+				f := &CNF{}
+				s, a, b := f.NewVar(), f.NewVar(), f.NewVar()
+				o := f.MUX(s, a, b)
+				f.Unit(sign(s, sel == 1))
+				f.Unit(sign(a, av == 1))
+				f.Unit(sign(b, bv == 1))
+				want := bv == 1
+				if sel == 1 {
+					want = av == 1
+				}
+				f.Unit(sign(o, want))
+				if NewSolver(f).Solve() != Sat {
+					t.Errorf("MUX(%d,%d,%d) rejected correct output", sel, av, bv)
+				}
+			}
+		}
+	}
+}
+
+// The S-box CNF must implement the table exactly.
+func TestSBox4Encoding(t *testing.T) {
+	for v := 0; v < 16; v++ {
+		f := &CNF{}
+		in := []int{f.NewVar(), f.NewVar(), f.NewVar(), f.NewVar()}
+		out := f.SBox4(in)
+		for b := 0; b < 4; b++ {
+			f.Unit(sign(in[b], v>>b&1 == 1))
+		}
+		s := NewSolver(f)
+		if s.Solve() != Sat {
+			t.Fatalf("SBox4 CNF unsat for input %d", v)
+		}
+		m := s.Assignment()
+		got := 0
+		for b := 0; b < 4; b++ {
+			if m[out[b]] {
+				got |= 1 << b
+			}
+		}
+		if got != int(SBox4Table[v]) {
+			t.Errorf("SBox4(%#x) CNF = %#x, want %#x", v, got, SBox4Table[v])
+		}
+	}
+}
+
+// DPLL solver basics.
+func TestSolverBasics(t *testing.T) {
+	// (a ∨ b) ∧ (¬a) forces b.
+	f := &CNF{}
+	a, b := f.NewVar(), f.NewVar()
+	f.AddClause(a, b)
+	f.AddClause(-a)
+	s := NewSolver(f)
+	if s.Solve() != Sat {
+		t.Fatal("simple formula unsat")
+	}
+	m := s.Assignment()
+	if m[a] || !m[b] {
+		t.Errorf("assignment = a:%v b:%v", m[a], m[b])
+	}
+	// a ∧ ¬a is unsat.
+	f2 := &CNF{}
+	x := f2.NewVar()
+	f2.Unit(x)
+	f2.Unit(-x)
+	if NewSolver(f2).Solve() != Unsat {
+		t.Error("contradiction not detected")
+	}
+}
+
+func TestSolverRandom3SAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	// Easy under-constrained instances must be satisfiable; the model
+	// must actually satisfy all clauses.
+	for trial := 0; trial < 20; trial++ {
+		f := &CNF{}
+		const vars = 20
+		for i := 0; i < vars; i++ {
+			f.NewVar()
+		}
+		for i := 0; i < 40; i++ {
+			var cl []int
+			for j := 0; j < 3; j++ {
+				v := rng.Intn(vars) + 1
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl = append(cl, v)
+			}
+			f.AddClause(cl...)
+		}
+		s := NewSolver(f)
+		if s.Solve() != Sat {
+			continue // rare unsat draws are fine
+		}
+		m := s.Assignment()
+		for _, cl := range f.Clauses {
+			ok := false
+			for _, lit := range cl {
+				v := lit
+				if v < 0 {
+					v = -v
+				}
+				if (lit > 0) == m[v] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatal("model does not satisfy a clause")
+			}
+		}
+	}
+}
+
+// The truncated combiner instance must be satisfiable (the ground
+// truth exists) and a found model must reproduce every observed OTP —
+// i.e. a successful attack at toy scale.
+func TestInstanceSolvableAtToyWidth(t *testing.T) {
+	// Width 4 is the widest width that solves quickly — already at
+	// width 8 the search exceeds millions of decisions (see
+	// TestExponentialBlowup), which is the paper's point.
+	inst, err := BuildInstance(2, 2, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSolver(inst.CNF)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("toy instance result = %v, want Sat", got)
+	}
+	if !inst.VerifySolution(s.Assignment()) {
+		t.Error("solver model does not reproduce the observed OTPs")
+	}
+}
+
+func TestBuildInstanceErrors(t *testing.T) {
+	if _, err := BuildInstance(2, 2, 5, 1); err == nil {
+		t.Error("non-power-of-two width accepted")
+	}
+	if _, err := BuildInstance(2, 2, 128, 1); err == nil {
+		t.Error("width beyond 64 accepted")
+	}
+	if _, err := BuildInstance(0, 2, 8, 1); err == nil {
+		t.Error("zero alpha accepted")
+	}
+}
+
+// The ground truth itself must satisfy the circuit equations — the
+// reference evaluator and the CNF circuit implement the same function.
+func TestCircuitMatchesEvaluator(t *testing.T) {
+	inst, err := BuildInstance(2, 2, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the secret values and check satisfiability.
+	for i, cv := range inst.CtrVars {
+		for b := range cv {
+			inst.CNF.Unit(sign(cv[b], inst.SecretCtr[i]>>b&1 == 1))
+		}
+	}
+	for a, av := range inst.AdrVars {
+		for b := range av {
+			inst.CNF.Unit(sign(av[b], inst.SecretAdr[a]>>b&1 == 1))
+		}
+	}
+	if NewSolver(inst.CNF).Solve() != Sat {
+		t.Error("ground truth does not satisfy the CNF circuit")
+	}
+}
+
+// The blow-up demonstration: doubling the word width takes the solver
+// from hundreds of decisions to blowing a generous decision budget —
+// the miniature version of MiniSat's two fruitless months at w=128.
+func TestExponentialBlowup(t *testing.T) {
+	run := func(w int, cap uint64) (uint64, SolveResult) {
+		inst, err := BuildInstance(2, 2, w, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSolver(inst.CNF)
+		s.MaxDecisions = cap
+		res := s.Solve()
+		return s.Decisions, res
+	}
+	d4, r4 := run(4, 1_000_000)
+	if r4 != Sat {
+		t.Fatalf("width 4: result %v, want Sat", r4)
+	}
+	d8, r8 := run(8, 50*d4+10_000)
+	t.Logf("decisions: w=4: %d (Sat), w=8: %d (%v)", d4, d8, r8)
+	switch r8 {
+	case Aborted:
+		// Expected: w=8 blows a budget 50x the w=4 cost.
+	case Sat:
+		if d8 < 50*d4 {
+			t.Errorf("w=8 solved in %d decisions; expected >= 50x the w=4 cost (%d)", d8, d4)
+		}
+	default:
+		t.Fatalf("width 8: unexpected unsat")
+	}
+}
+
+func TestExtractWord(t *testing.T) {
+	assign := []bool{false, true, false, true} // vars 1..3
+	if got := ExtractWord([]int{1, 2, 3}, assign); got != 0b101 {
+		t.Errorf("ExtractWord = %#b, want 101", got)
+	}
+}
+
+func BenchmarkSolveToyInstance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		inst, _ := BuildInstance(2, 2, 4, int64(i))
+		s := NewSolver(inst.CNF)
+		if s.Solve() != Sat {
+			b.Fatal("toy instance unsat")
+		}
+	}
+}

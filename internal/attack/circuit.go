@@ -1,0 +1,147 @@
+package attack
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// The truncated combiner mirrors mix.Nonlinear's structure at word
+// width w (a multiple of 4, power of two ≤ 64):
+//
+//	t   = rotl(C, sel1(A)) ⊕ A
+//	t  ^= rotl(t, r1)
+//	u   = SBox4(t)            (per 4-bit group)
+//	out = rotl(u, sel2(A)) ⊕ C
+//
+// where sel1/sel2 take log2(w) bits from A. Both the reference
+// evaluator below and the CNF circuit implement exactly this function,
+// so generated instances are satisfiable by construction.
+
+const truncR1 = 3 // fixed diffusion rotation in the truncated circuit
+
+// evalCombiner computes the truncated combiner on concrete values.
+func evalCombiner(c, a uint64, w int) uint64 {
+	mask := uint64(1)<<w - 1
+	lg := bits.TrailingZeros(uint(w))
+	sel1 := int(a & (uint64(w) - 1))
+	sel2 := int(a >> lg & (uint64(w) - 1))
+	rot := func(v uint64, n int) uint64 {
+		n %= w
+		return (v<<n | v>>(w-n)) & mask
+	}
+	t := rot(c, sel1) ^ a
+	t ^= rot(t, truncR1)
+	t &= mask
+	var u uint64
+	for i := 0; i < w; i += 4 {
+		u |= uint64(SBox4Table[t>>i&0xF]) << i
+	}
+	return (rot(u, sel2) ^ c) & mask
+}
+
+// buildCombiner encodes the truncated combiner over literal vectors
+// for the unknown counter-AES word (cv) and address-AES word (av).
+func buildCombiner(f *CNF, cv, av []int) []int {
+	w := len(cv)
+	lg := bits.TrailingZeros(uint(w))
+	sel1 := av[:lg]
+	sel2 := av[lg : 2*lg]
+	t := f.XORWord(f.BarrelRotL(cv, sel1), av)
+	t = f.XORWord(t, RotLFixed(t, truncR1))
+	u := f.SBoxWord(t)
+	return f.XORWord(f.BarrelRotL(u, sel2), cv)
+}
+
+// Instance is a generated attack problem: recover the secret AES words
+// from observed OTPs.
+type Instance struct {
+	CNF     *CNF
+	W       int
+	Alpha   int
+	C       int
+	CtrVars [][]int // counter-AES unknowns, C words of W literals
+	AdrVars [][]int // address-AES unknowns, Alpha words of W literals
+	// The hidden ground truth (for verification in tests).
+	SecretCtr []uint64
+	SecretAdr []uint64
+	OTPs      [][]uint64 // OTPs[a][c] observed by the attacker
+}
+
+// BuildInstance generates the SAT instance for α blocks sharing c
+// counters at word width w: the attacker knows every OTP bit and must
+// solve for the 2·(α+c)·w unknown AES bits, exactly the setup of
+// §IV-F scaled down from 128-bit words.
+func BuildInstance(alpha, c, w int, seed int64) (*Instance, error) {
+	if w < 4 || w > 64 || w&(w-1) != 0 {
+		return nil, fmt.Errorf("attack: width %d must be a power of two in [4,64]", w)
+	}
+	if alpha < 1 || c < 1 {
+		return nil, fmt.Errorf("attack: need at least one block and counter")
+	}
+	if 2*bits.TrailingZeros(uint(w)) > w {
+		return nil, fmt.Errorf("attack: width %d too small for two rotate selectors", w)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	inst := &Instance{CNF: &CNF{}, W: w, Alpha: alpha, C: c}
+	mask := uint64(1)<<w - 1
+	for i := 0; i < c; i++ {
+		inst.SecretCtr = append(inst.SecretCtr, rng.Uint64()&mask)
+		inst.CtrVars = append(inst.CtrVars, newWord(inst.CNF, w))
+	}
+	for a := 0; a < alpha; a++ {
+		inst.SecretAdr = append(inst.SecretAdr, rng.Uint64()&mask)
+		inst.AdrVars = append(inst.AdrVars, newWord(inst.CNF, w))
+	}
+	inst.OTPs = make([][]uint64, alpha)
+	for a := 0; a < alpha; a++ {
+		inst.OTPs[a] = make([]uint64, c)
+		for i := 0; i < c; i++ {
+			otp := evalCombiner(inst.SecretCtr[i], inst.SecretAdr[a], w)
+			inst.OTPs[a][i] = otp
+			outs := buildCombiner(inst.CNF, inst.CtrVars[i], inst.AdrVars[a])
+			for b := 0; b < w; b++ {
+				lit := outs[b]
+				if otp>>b&1 == 0 {
+					lit = -lit
+				}
+				inst.CNF.Unit(lit)
+			}
+		}
+	}
+	return inst, nil
+}
+
+func newWord(f *CNF, w int) []int {
+	out := make([]int, w)
+	for i := range out {
+		out[i] = f.NewVar()
+	}
+	return out
+}
+
+// ExtractWord reads a word value out of a solver assignment.
+func ExtractWord(vars []int, assign []bool) uint64 {
+	var v uint64
+	for i, lit := range vars {
+		if assign[lit] {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// VerifySolution checks that an assignment's recovered AES words
+// reproduce every observed OTP (a successful key-independent attack).
+func (inst *Instance) VerifySolution(assign []bool) bool {
+	for a := 0; a < inst.Alpha; a++ {
+		av := ExtractWord(inst.AdrVars[a], assign)
+		for i := 0; i < inst.C; i++ {
+			cv := ExtractWord(inst.CtrVars[i], assign)
+			if evalCombiner(cv, av, inst.W) != inst.OTPs[a][i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,149 @@
+package attack
+
+// CNF is a conjunctive-normal-form formula under construction.
+// Variables are positive integers; a negative literal -v means ¬v.
+type CNF struct {
+	NumVars int
+	Clauses [][]int
+}
+
+// NewVar allocates a fresh variable and returns its positive literal.
+func (f *CNF) NewVar() int {
+	f.NumVars++
+	return f.NumVars
+}
+
+// AddClause appends one clause (a disjunction of literals).
+func (f *CNF) AddClause(lits ...int) {
+	c := make([]int, len(lits))
+	copy(c, lits)
+	f.Clauses = append(f.Clauses, c)
+}
+
+// Unit forces lit to be true.
+func (f *CNF) Unit(lit int) { f.AddClause(lit) }
+
+// XOR2 returns a literal equivalent to a ⊕ b (Tseitin encoding).
+func (f *CNF) XOR2(a, b int) int {
+	o := f.NewVar()
+	// o = a ⊕ b
+	f.AddClause(-o, a, b)
+	f.AddClause(-o, -a, -b)
+	f.AddClause(o, -a, b)
+	f.AddClause(o, a, -b)
+	return o
+}
+
+// AND2 returns a literal equivalent to a ∧ b.
+func (f *CNF) AND2(a, b int) int {
+	o := f.NewVar()
+	f.AddClause(-o, a)
+	f.AddClause(-o, b)
+	f.AddClause(o, -a, -b)
+	return o
+}
+
+// OR2 returns a literal equivalent to a ∨ b.
+func (f *CNF) OR2(a, b int) int {
+	o := f.NewVar()
+	f.AddClause(o, -a)
+	f.AddClause(o, -b)
+	f.AddClause(-o, a, b)
+	return o
+}
+
+// MUX returns a literal equivalent to (sel ? a : b).
+func (f *CNF) MUX(sel, a, b int) int {
+	o := f.NewVar()
+	// sel -> (o == a); !sel -> (o == b)
+	f.AddClause(-sel, -a, o)
+	f.AddClause(-sel, a, -o)
+	f.AddClause(sel, -b, o)
+	f.AddClause(sel, b, -o)
+	return o
+}
+
+// XORWord XORs two equal-length literal vectors bitwise.
+func (f *CNF) XORWord(a, b []int) []int {
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = f.XOR2(a[i], b[i])
+	}
+	return out
+}
+
+// RotLFixed rotates a literal vector left by a constant amount —
+// free (pure wiring).
+func RotLFixed(a []int, n int) []int {
+	w := len(a)
+	n %= w
+	out := make([]int, w)
+	for i := range a {
+		out[(i+n)%w] = a[i]
+	}
+	return out
+}
+
+// BarrelRotL rotates a left by an amount given by select literals
+// (sel[k] rotates by 2^k), building the log-depth mux network of a
+// hardware barrel shifter. This is how the circuit rotates by an
+// amount derived from the (unknown) address-AES bits.
+func (f *CNF) BarrelRotL(a []int, sel []int) []int {
+	cur := a
+	for k, s := range sel {
+		shifted := RotLFixed(cur, 1<<k)
+		next := make([]int, len(cur))
+		for i := range cur {
+			next[i] = f.MUX(s, shifted[i], cur[i])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// SBox4Table is the PRESENT cipher's 4-bit S-box, standing in for the
+// AES S-box in the truncated circuit (any strongly nonlinear 4-bit
+// permutation serves the demonstration).
+var SBox4Table = [16]uint8{0xC, 5, 6, 0xB, 9, 0, 0xA, 0xD, 3, 0xE, 0xF, 8, 4, 7, 1, 2}
+
+// SBox4 applies the 4-bit S-box to a group of four literals
+// (in[0] = LSB) by encoding each output bit's truth table.
+func (f *CNF) SBox4(in []int) []int {
+	if len(in) != 4 {
+		panic("attack: SBox4 needs exactly 4 literals")
+	}
+	out := []int{f.NewVar(), f.NewVar(), f.NewVar(), f.NewVar()}
+	// For every input combination, force the output bits.
+	for v := 0; v < 16; v++ {
+		// Clause prefix: ¬(in == v) ∨ ...
+		prefix := make([]int, 4)
+		for b := 0; b < 4; b++ {
+			if v>>b&1 == 1 {
+				prefix[b] = -in[b]
+			} else {
+				prefix[b] = in[b]
+			}
+		}
+		sv := SBox4Table[v]
+		for b := 0; b < 4; b++ {
+			lit := out[b]
+			if sv>>b&1 == 0 {
+				lit = -lit
+			}
+			f.AddClause(prefix[0], prefix[1], prefix[2], prefix[3], lit)
+		}
+	}
+	return out
+}
+
+// SBoxWord applies SBox4 to every 4-bit group of a word.
+func (f *CNF) SBoxWord(a []int) []int {
+	if len(a)%4 != 0 {
+		panic("attack: word width must be a multiple of 4")
+	}
+	out := make([]int, 0, len(a))
+	for i := 0; i < len(a); i += 4 {
+		out = append(out, f.SBox4(a[i:i+4])...)
+	}
+	return out
+}

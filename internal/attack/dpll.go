@@ -1,0 +1,169 @@
+package attack
+
+// Solver is a DPLL SAT solver with unit propagation — deliberately in
+// the MiniSat family (the paper's tool) but simpler, since its purpose
+// is to demonstrate the exponential blow-up of the attack instances,
+// not to win competitions.
+type Solver struct {
+	numVars int
+	clauses [][]int
+	assign  []int8 // 0 unknown, +1 true, -1 false (indexed by var)
+
+	// Statistics.
+	Decisions    uint64
+	Propagations uint64
+	Conflicts    uint64
+	// MaxDecisions aborts the search when exceeded (0 = unlimited),
+	// standing in for the paper's "two months without an answer".
+	MaxDecisions uint64
+	aborted      bool
+}
+
+// NewSolver wraps a CNF formula.
+func NewSolver(f *CNF) *Solver {
+	return &Solver{
+		numVars: f.NumVars,
+		clauses: f.Clauses,
+		assign:  make([]int8, f.NumVars+1),
+	}
+}
+
+// Result of a solve attempt.
+type SolveResult int
+
+const (
+	// Unsat means the formula has no satisfying assignment.
+	Unsat SolveResult = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Aborted means MaxDecisions was exhausted first.
+	Aborted
+)
+
+// Solve runs the search. On Sat, Assignment() returns the model.
+func (s *Solver) Solve() SolveResult {
+	if !s.propagate() {
+		return Unsat
+	}
+	if s.search() {
+		return Sat
+	}
+	if s.aborted {
+		return Aborted
+	}
+	return Unsat
+}
+
+// Assignment returns the model as a truth vector indexed by variable.
+func (s *Solver) Assignment() []bool {
+	out := make([]bool, s.numVars+1)
+	for v := 1; v <= s.numVars; v++ {
+		out[v] = s.assign[v] > 0
+	}
+	return out
+}
+
+func (s *Solver) value(lit int) int8 {
+	if lit > 0 {
+		return s.assign[lit]
+	}
+	return -s.assign[-lit]
+}
+
+func (s *Solver) set(lit int) {
+	if lit > 0 {
+		s.assign[lit] = 1
+	} else {
+		s.assign[-lit] = -1
+	}
+}
+
+func (s *Solver) unset(lit int) {
+	if lit > 0 {
+		s.assign[lit] = 0
+	} else {
+		s.assign[-lit] = 0
+	}
+}
+
+// propagate runs unit propagation to a fixed point; false on conflict.
+// It returns the literals it assigned through the trail out-parameter
+// when called from search (see propagateTrail).
+func (s *Solver) propagate() bool {
+	_, ok := s.propagateTrail()
+	return ok
+}
+
+func (s *Solver) propagateTrail() (trail []int, ok bool) {
+	for {
+		progress := false
+		for _, cl := range s.clauses {
+			unassigned := 0
+			var unit int
+			satisfied := false
+			for _, lit := range cl {
+				switch s.value(lit) {
+				case 1:
+					satisfied = true
+				case 0:
+					unassigned++
+					unit = lit
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch unassigned {
+			case 0:
+				s.Conflicts++
+				return trail, false // conflict
+			case 1:
+				s.set(unit)
+				trail = append(trail, unit)
+				s.Propagations++
+				progress = true
+			}
+		}
+		if !progress {
+			return trail, true
+		}
+	}
+}
+
+// search is recursive DPLL.
+func (s *Solver) search() bool {
+	if s.MaxDecisions > 0 && s.Decisions > s.MaxDecisions {
+		s.aborted = true
+		return false
+	}
+	// Pick the first unassigned variable.
+	branch := 0
+	for v := 1; v <= s.numVars; v++ {
+		if s.assign[v] == 0 {
+			branch = v
+			break
+		}
+	}
+	if branch == 0 {
+		return true // complete assignment, all clauses satisfied
+	}
+	for _, lit := range []int{branch, -branch} {
+		s.Decisions++
+		s.set(lit)
+		trail, ok := s.propagateTrail()
+		if ok && s.search() {
+			return true
+		}
+		for _, l := range trail {
+			s.unset(l)
+		}
+		s.unset(lit)
+		if s.aborted {
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,37 @@
+package attack_test
+
+import (
+	"fmt"
+
+	"counterlight/internal/attack"
+)
+
+// The §IV-F counting argument in three lines: the minimal formally
+// solvable system (α = c = 2) has 512 unknowns and 512 equations, but
+// its MQ form is far too sparse for polynomial-time relinearization.
+func ExampleSystemSize() {
+	s := attack.MinimalSolvableCase()
+	fmt.Println("unknowns:", s.Unknowns(), "equations:", s.Equations())
+	fmt.Println("solvable in principle:", s.Solvable())
+	fmt.Println("relinearization applies:", s.RelinearizationApplies())
+	// Output:
+	// unknowns: 512 equations: 512
+	// solvable in principle: true
+	// relinearization applies: false
+}
+
+// A linear OTP combiner is broken by plain Gaussian elimination: the
+// attacker recovers values that reproduce (and therefore predict)
+// every pad. This is why Counter-light's combiner is nonlinear.
+func ExampleLinearBreak() {
+	inst, err := attack.BuildLinearInstance(4, 4, 64, 1)
+	if err != nil {
+		panic(err)
+	}
+	res := attack.LinearBreak(inst)
+	fmt.Println("recovered:", res.Recovered)
+	fmt.Println("forged pad matches:", res.PredictOTP(0, 0, 64) == inst.OTPs[0][0])
+	// Output:
+	// recovered: true
+	// forged pad matches: true
+}

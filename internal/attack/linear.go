@@ -1,0 +1,226 @@
+package attack
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// This file demonstrates the other half of §IV-F's argument: why the
+// combining logic must be NONLINEAR. If the OTP were a linear function
+// of the two AES results — e.g. OTP = rotl(C, r1) ⊕ rotl(A, r2) with
+// fixed rotations, the simplest "combiner" one might try — then every
+// observed OTP bit is a GF(2)-linear equation over the unknown AES
+// bits, and plain Gaussian elimination recovers the secrets in
+// polynomial time from a handful of observations. The LinearBreak
+// attack below does exactly that and succeeds instantly at full
+// 64-bit width, in sharp contrast to the SAT solver's hopeless search
+// against the S-box construction (see dpll.go and circuit.go).
+
+// linearCombine is the weak combiner: rotl(C, r1) ⊕ rotl(A, r2).
+const (
+	linR1 = 5
+	linR2 = 17
+)
+
+func rotW(v uint64, n, w int) uint64 {
+	mask := uint64(1)<<w - 1
+	n %= w
+	return (v<<n | v>>(w-n)) & mask
+}
+
+// evalLinearCombiner computes the weak combiner at word width w.
+func evalLinearCombiner(c, a uint64, w int) uint64 {
+	return rotW(c, linR1, w) ^ rotW(a, linR2, w)
+}
+
+// LinearInstance is an attack problem against the linear combiner.
+type LinearInstance struct {
+	W         int
+	Alpha, C  int
+	OTPs      [][]uint64 // OTPs[a][c]
+	SecretCtr []uint64
+	SecretAdr []uint64
+}
+
+// BuildLinearInstance generates observations of the linear combiner
+// with hidden secrets, mirroring BuildInstance for the nonlinear case.
+func BuildLinearInstance(alpha, c, w int, seed int64) (*LinearInstance, error) {
+	if w < 2 || w > 64 {
+		return nil, fmt.Errorf("attack: width %d out of range [2,64]", w)
+	}
+	if alpha < 1 || c < 1 {
+		return nil, fmt.Errorf("attack: need at least one block and counter")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mask := uint64(1)<<w - 1
+	if w == 64 {
+		mask = ^uint64(0)
+	}
+	inst := &LinearInstance{W: w, Alpha: alpha, C: c}
+	for i := 0; i < c; i++ {
+		inst.SecretCtr = append(inst.SecretCtr, rng.Uint64()&mask)
+	}
+	for a := 0; a < alpha; a++ {
+		inst.SecretAdr = append(inst.SecretAdr, rng.Uint64()&mask)
+	}
+	inst.OTPs = make([][]uint64, alpha)
+	for a := 0; a < alpha; a++ {
+		inst.OTPs[a] = make([]uint64, c)
+		for i := 0; i < c; i++ {
+			inst.OTPs[a][i] = evalLinearCombiner(inst.SecretCtr[i], inst.SecretAdr[a], w)
+		}
+	}
+	return inst, nil
+}
+
+// LinearBreakResult reports the Gaussian-elimination attack outcome.
+type LinearBreakResult struct {
+	Recovered    bool
+	Equations    int
+	Unknowns     int
+	FreeVars     int // dimension of the solution space (gauge freedom)
+	RecoveredCtr []uint64
+	RecoveredAdr []uint64
+}
+
+// LinearBreak mounts the polynomial-time attack: set up one GF(2)
+// equation per observed OTP bit over the (alpha+c)·w unknown AES bits
+// and solve by Gaussian elimination. The system has a one-dimensional
+// gauge freedom per rotation relation (XORing a constant pattern into
+// all C's and the matching pattern into all A's preserves every OTP);
+// the attack resolves it by pinning the free variables to the values
+// a real attacker would enumerate (2^FreeVars candidates — here we
+// verify recovery up to that enumeration by checking OTP consistency).
+func LinearBreak(inst *LinearInstance) LinearBreakResult {
+	w := inst.W
+	nUnknowns := (inst.Alpha + inst.C) * w
+	// Variable layout: C_i bit b -> i*w + b; A_a bit b -> (C + a)*w + b.
+	ctrVar := func(i, b int) int { return i*w + b }
+	adrVar := func(a, b int) int { return (inst.C+a)*w + b }
+
+	// Each equation: XOR of two unknowns equals an OTP bit:
+	// OTP[a][i] bit o = C_i bit ((o - r1) mod w) ⊕ A_a bit ((o - r2) mod w).
+	type row struct {
+		bits []uint64 // bitset over unknowns
+		rhs  uint64
+	}
+	words := (nUnknowns + 63) / 64
+	var rowsM []row
+	for a := 0; a < inst.Alpha; a++ {
+		for i := 0; i < inst.C; i++ {
+			for o := 0; o < w; o++ {
+				r := row{bits: make([]uint64, words)}
+				cb := ctrVar(i, ((o-linR1)%w+w)%w)
+				ab := adrVar(a, ((o-linR2)%w+w)%w)
+				r.bits[cb/64] ^= 1 << (cb % 64)
+				r.bits[ab/64] ^= 1 << (ab % 64)
+				r.rhs = inst.OTPs[a][i] >> o & 1
+				rowsM = append(rowsM, r)
+			}
+		}
+	}
+	res := LinearBreakResult{Equations: len(rowsM), Unknowns: nUnknowns}
+
+	// Gaussian elimination over GF(2).
+	pivotOf := make([]int, 0, nUnknowns) // pivot row index per pivot column order
+	pivotCol := make([]int, 0, nUnknowns)
+	rowUsed := make([]bool, len(rowsM))
+	for col := 0; col < nUnknowns; col++ {
+		pivot := -1
+		for ri := range rowsM {
+			if rowUsed[ri] {
+				continue
+			}
+			if rowsM[ri].bits[col/64]>>(col%64)&1 == 1 {
+				pivot = ri
+				break
+			}
+		}
+		if pivot == -1 {
+			continue // free variable
+		}
+		rowUsed[pivot] = true
+		pivotOf = append(pivotOf, pivot)
+		pivotCol = append(pivotCol, col)
+		for ri := range rowsM {
+			if ri == pivot {
+				continue
+			}
+			if rowsM[ri].bits[col/64]>>(col%64)&1 == 1 {
+				for wv := range rowsM[ri].bits {
+					rowsM[ri].bits[wv] ^= rowsM[pivot].bits[wv]
+				}
+				rowsM[ri].rhs ^= rowsM[pivot].rhs
+			}
+		}
+	}
+	// Consistency check: any zero row with rhs 1 means no solution.
+	for ri := range rowsM {
+		if rowUsed[ri] {
+			continue
+		}
+		zero := true
+		for _, wv := range rowsM[ri].bits {
+			if wv != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero && rowsM[ri].rhs == 1 {
+			return res // inconsistent: not recovered
+		}
+	}
+	res.FreeVars = nUnknowns - len(pivotCol)
+
+	// Back-substitute with free variables set to 0 — one candidate in
+	// the small solution space the attacker enumerates.
+	solution := make([]uint64, words)
+	for k := len(pivotCol) - 1; k >= 0; k-- {
+		r := rowsM[pivotOf[k]]
+		v := r.rhs
+		for wv := range r.bits {
+			v ^= uint64(bits.OnesCount64(r.bits[wv]&solution[wv])) & 1
+		}
+		// Remove the pivot's own contribution if it was counted.
+		col := pivotCol[k]
+		if solution[col/64]>>(col%64)&1 == 1 {
+			v ^= 1
+		}
+		if v == 1 {
+			solution[col/64] |= 1 << (col % 64)
+		}
+	}
+	getBit := func(v int) uint64 { return solution[v/64] >> (v % 64) & 1 }
+	res.RecoveredCtr = make([]uint64, inst.C)
+	for i := 0; i < inst.C; i++ {
+		for b := 0; b < w; b++ {
+			res.RecoveredCtr[i] |= getBit(ctrVar(i, b)) << b
+		}
+	}
+	res.RecoveredAdr = make([]uint64, inst.Alpha)
+	for a := 0; a < inst.Alpha; a++ {
+		for b := 0; b < w; b++ {
+			res.RecoveredAdr[a] |= getBit(adrVar(a, b)) << b
+		}
+	}
+	// The candidate succeeds if it reproduces every observed OTP — and
+	// then it also predicts the OTP of any future (block, counter)
+	// pair, which is the full break.
+	for a := 0; a < inst.Alpha; a++ {
+		for i := 0; i < inst.C; i++ {
+			if evalLinearCombiner(res.RecoveredCtr[i], res.RecoveredAdr[a], w) != inst.OTPs[a][i] {
+				return res
+			}
+		}
+	}
+	res.Recovered = true
+	return res
+}
+
+// PredictOTP uses recovered values to forge the pad for a new
+// (counter, address) combination — demonstrating that the linear break
+// generalizes beyond the observed pairs.
+func (r LinearBreakResult) PredictOTP(ctrIdx, adrIdx, w int) uint64 {
+	return evalLinearCombiner(r.RecoveredCtr[ctrIdx], r.RecoveredAdr[adrIdx], w)
+}

@@ -1,0 +1,115 @@
+package attack
+
+import "testing"
+
+func TestBuildLinearInstanceErrors(t *testing.T) {
+	if _, err := BuildLinearInstance(2, 2, 1, 1); err == nil {
+		t.Error("width 1 accepted")
+	}
+	if _, err := BuildLinearInstance(2, 2, 65, 1); err == nil {
+		t.Error("width 65 accepted")
+	}
+	if _, err := BuildLinearInstance(0, 2, 8, 1); err == nil {
+		t.Error("zero alpha accepted")
+	}
+}
+
+// The linear combiner falls to Gaussian elimination instantly, even at
+// the full 64-bit width and with many blocks/counters — the contrast
+// motivating the paper's nonlinear mixing (§IV-F).
+func TestLinearBreakRecovers(t *testing.T) {
+	for _, tc := range []struct{ alpha, c, w int }{
+		{2, 2, 8},
+		{2, 2, 64}, // full width: still instant
+		{4, 8, 32},
+		{8, 4, 64},
+	} {
+		inst, err := BuildLinearInstance(tc.alpha, tc.c, tc.w, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := LinearBreak(inst)
+		if !res.Recovered {
+			t.Fatalf("alpha=%d c=%d w=%d: linear break failed (free=%d)",
+				tc.alpha, tc.c, tc.w, res.FreeVars)
+		}
+		// The recovered values must predict OTPs for every pair,
+		// which LinearBreak already verified; check a sample again
+		// through the public predictor.
+		if res.PredictOTP(0, 0, tc.w) != inst.OTPs[0][0] {
+			t.Error("PredictOTP mismatch")
+		}
+	}
+}
+
+// The recovered solution differs from the hidden secrets by at most
+// the gauge freedom, but it must be functionally equivalent: equal
+// OTPs on every pair (that is what lets the attacker decrypt).
+func TestLinearBreakFunctionalEquivalence(t *testing.T) {
+	inst, err := BuildLinearInstance(3, 3, 16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := LinearBreak(inst)
+	if !res.Recovered {
+		t.Fatal("break failed")
+	}
+	for a := 0; a < inst.Alpha; a++ {
+		for i := 0; i < inst.C; i++ {
+			want := evalLinearCombiner(inst.SecretCtr[i], inst.SecretAdr[a], inst.W)
+			got := evalLinearCombiner(res.RecoveredCtr[i], res.RecoveredAdr[a], inst.W)
+			if got != want {
+				t.Fatalf("pair (%d,%d): recovered values not equivalent", a, i)
+			}
+		}
+	}
+}
+
+// The gauge freedom is small (the attacker enumerates 2^FreeVars
+// candidates); it must not grow with the number of observations.
+func TestLinearBreakFreeVarsBounded(t *testing.T) {
+	small, _ := BuildLinearInstance(2, 2, 16, 3)
+	big, _ := BuildLinearInstance(8, 8, 16, 3)
+	rs := LinearBreak(small)
+	rb := LinearBreak(big)
+	if !rs.Recovered || !rb.Recovered {
+		t.Fatal("breaks failed")
+	}
+	if rb.FreeVars > rs.FreeVars {
+		t.Errorf("free variables grew with observations: %d -> %d", rs.FreeVars, rb.FreeVars)
+	}
+	if rs.FreeVars > 2*16 {
+		t.Errorf("gauge freedom %d too large to enumerate", rs.FreeVars)
+	}
+}
+
+// Underdetermined systems (one block) must not fake a recovery that
+// fails verification; the attack reports honestly either way.
+func TestLinearBreakUnderdetermined(t *testing.T) {
+	inst, err := BuildLinearInstance(1, 1, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := LinearBreak(inst)
+	// With one OTP there are w equations and 2w unknowns; any solution
+	// that reproduces the single OTP counts as "recovered" for that
+	// observation set (and indeed decrypts that one block).
+	if res.Recovered {
+		if res.PredictOTP(0, 0, 16) != inst.OTPs[0][0] {
+			t.Error("claimed recovery does not reproduce the OTP")
+		}
+	}
+	if res.Equations != 16 || res.Unknowns != 32 {
+		t.Errorf("system size = %d eq / %d unk", res.Equations, res.Unknowns)
+	}
+}
+
+func BenchmarkLinearBreakFullWidth(b *testing.B) {
+	inst, _ := BuildLinearInstance(4, 4, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !LinearBreak(inst).Recovered {
+			b.Fatal("break failed")
+		}
+	}
+}

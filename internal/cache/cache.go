@@ -1,0 +1,206 @@
+// Package cache models set-associative caches with LRU replacement,
+// write-back/write-allocate policy, and in-flight fill tracking.
+//
+// The same structure serves the L1/L2/L3 data caches of the core model
+// and the 64 KB 32-way counter cache of the memory controller
+// (Table I). Lines carry a readyAt timestamp so that a demand access
+// to a block whose fill (e.g. a prefetch) is still in flight stalls
+// only until the fill completes instead of issuing a duplicate memory
+// request — the mechanism by which prefetching hides decryption
+// latency for regular workloads (paper §III).
+package cache
+
+import "fmt"
+
+// Line states are implicit: a line is valid if tag != invalidTag.
+const invalidTag = ^uint64(0)
+
+type line struct {
+	tag     uint64
+	dirty   bool
+	readyAt int64 // simulated time (ps) when the fill completes
+	lastUse uint64
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64 // includes hits on in-flight lines
+	Misses     uint64
+	Writebacks uint64 // dirty evictions
+	Evictions  uint64 // all evictions
+}
+
+// Cache is a single-level set-associative cache (tag store only; data
+// values live in the functional memory model).
+type Cache struct {
+	sets      int
+	ways      int
+	blockSize uint64
+	lines     []line // sets*ways, row-major by set
+	useClock  uint64
+	stats     Stats
+}
+
+// New builds a cache of the given total size in bytes. size must be
+// ways*blockSize*2^k for some k (power-of-two set count).
+func New(size, blockSize uint64, ways int) (*Cache, error) {
+	if blockSize == 0 || ways <= 0 || size == 0 {
+		return nil, fmt.Errorf("cache: invalid geometry size=%d block=%d ways=%d", size, blockSize, ways)
+	}
+	linesTotal := size / blockSize
+	if linesTotal == 0 || linesTotal%uint64(ways) != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible into %d ways of %d-byte blocks", size, ways, blockSize)
+	}
+	sets := linesTotal / uint64(ways)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	c := &Cache{
+		sets:      int(sets),
+		ways:      ways,
+		blockSize: blockSize,
+		lines:     make([]line, int(sets)*ways),
+	}
+	for i := range c.lines {
+		c.lines[i].tag = invalidTag
+	}
+	return c, nil
+}
+
+// Sets and Ways expose the geometry.
+func (c *Cache) Sets() int { return c.sets }
+func (c *Cache) Ways() int { return c.ways }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (per measurement window).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) setFor(addr uint64) (setBase int, tag uint64) {
+	blk := addr / c.blockSize
+	return int(blk%uint64(c.sets)) * c.ways, blk / uint64(c.sets)
+}
+
+// Lookup probes the cache at simulated time now. On a hit it returns
+// readyAt, the time at which the line's data is available (now for
+// resident lines, the fill-completion time for in-flight lines). On a
+// miss the caller is expected to fetch the block and Insert it.
+func (c *Cache) Lookup(addr uint64, now int64) (hit bool, readyAt int64) {
+	base, tag := c.setFor(addr)
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].tag == tag {
+			c.stats.Hits++
+			c.useClock++
+			c.lines[i].lastUse = c.useClock
+			r := c.lines[i].readyAt
+			if r < now {
+				r = now
+			}
+			return true, r
+		}
+	}
+	c.stats.Misses++
+	return false, 0
+}
+
+// Contains probes without touching statistics or LRU state.
+func (c *Cache) Contains(addr uint64) bool {
+	base, tag := c.setFor(addr)
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Eviction describes a block displaced by Insert.
+type Eviction struct {
+	Addr  uint64
+	Dirty bool
+}
+
+// Insert fills the block at addr, with the data becoming available at
+// readyAt. If an LRU victim must be displaced, it is returned so the
+// caller can issue the writeback (when dirty). Inserting an
+// already-present block refreshes its readyAt and dirty state.
+func (c *Cache) Insert(addr uint64, readyAt int64, dirty bool) (ev Eviction, evicted bool) {
+	base, tag := c.setFor(addr)
+	c.useClock++
+	// Refresh if present.
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].tag == tag {
+			c.lines[i].dirty = c.lines[i].dirty || dirty
+			if readyAt < c.lines[i].readyAt {
+				c.lines[i].readyAt = readyAt
+			}
+			c.lines[i].lastUse = c.useClock
+			return Eviction{}, false
+		}
+	}
+	// Find invalid way or LRU victim.
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].tag == invalidTag {
+			victim = i
+			break
+		}
+		if c.lines[i].lastUse < c.lines[victim].lastUse {
+			victim = i
+		}
+	}
+	if c.lines[victim].tag != invalidTag {
+		c.stats.Evictions++
+		if c.lines[victim].dirty {
+			c.stats.Writebacks++
+		}
+		ev = Eviction{
+			Addr:  c.addrOf(victim, c.lines[victim].tag),
+			Dirty: c.lines[victim].dirty,
+		}
+		evicted = true
+	}
+	c.lines[victim] = line{tag: tag, dirty: dirty, readyAt: readyAt, lastUse: c.useClock}
+	return ev, evicted
+}
+
+func (c *Cache) addrOf(lineIdx int, tag uint64) uint64 {
+	set := uint64(lineIdx / c.ways)
+	return (tag*uint64(c.sets) + set) * c.blockSize
+}
+
+// Write marks the block dirty if present, returning whether it hit.
+// (Write misses are handled by the caller as read-for-ownership plus
+// Insert with dirty=true.)
+func (c *Cache) Write(addr uint64, now int64) (hit bool, readyAt int64) {
+	base, tag := c.setFor(addr)
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].tag == tag {
+			c.stats.Hits++
+			c.useClock++
+			c.lines[i].lastUse = c.useClock
+			c.lines[i].dirty = true
+			r := c.lines[i].readyAt
+			if r < now {
+				r = now
+			}
+			return true, r
+		}
+	}
+	c.stats.Misses++
+	return false, 0
+}
+
+// Invalidate drops the block if present, returning its dirty state.
+func (c *Cache) Invalidate(addr uint64) (wasDirty, wasPresent bool) {
+	base, tag := c.setFor(addr)
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].tag == tag {
+			wasDirty = c.lines[i].dirty
+			c.lines[i] = line{tag: invalidTag}
+			return wasDirty, true
+		}
+	}
+	return false, false
+}

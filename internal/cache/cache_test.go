@@ -1,0 +1,272 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustNew(t *testing.T, size, block uint64, ways int) *Cache {
+	t.Helper()
+	c, err := New(size, block, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewErrors(t *testing.T) {
+	cases := []struct {
+		size, block uint64
+		ways        int
+	}{
+		{0, 64, 4},
+		{1024, 0, 4},
+		{1024, 64, 0},
+		{1024, 64, 5},   // 16 lines not divisible by 5
+		{3 * 64, 64, 1}, // 3 sets: not a power of two
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.size, tc.block, tc.ways); err == nil {
+			t.Errorf("New(%d,%d,%d): want error", tc.size, tc.block, tc.ways)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := mustNew(t, 64*1024, 64, 32) // the counter cache of Table I
+	if c.Sets() != 32 || c.Ways() != 32 {
+		t.Errorf("geometry = %dx%d, want 32 sets x 32 ways", c.Sets(), c.Ways())
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := mustNew(t, 1024, 64, 2)
+	if hit, _ := c.Lookup(0, 0); hit {
+		t.Error("cold cache must miss")
+	}
+	c.Insert(0, 100, false)
+	hit, ready := c.Lookup(0, 200)
+	if !hit {
+		t.Error("inserted block must hit")
+	}
+	if ready != 200 {
+		t.Errorf("resident line readyAt = %d, want now (200)", ready)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// Accessing an in-flight line returns the fill completion time.
+func TestInFlightFill(t *testing.T) {
+	c := mustNew(t, 1024, 64, 2)
+	c.Insert(0, 5000, false) // fill completes at t=5000
+	hit, ready := c.Lookup(0, 1000)
+	if !hit || ready != 5000 {
+		t.Errorf("in-flight lookup = (%v, %d), want (true, 5000)", hit, ready)
+	}
+	// After the fill completes, no extra delay.
+	if _, ready := c.Lookup(0, 6000); ready != 6000 {
+		t.Errorf("post-fill readyAt = %d, want 6000", ready)
+	}
+}
+
+func TestSameSetDifferentTags(t *testing.T) {
+	c := mustNew(t, 1024, 64, 2) // 8 sets
+	// Addresses 0 and 8*64 share set 0 with different tags.
+	c.Insert(0, 0, false)
+	c.Insert(8*64, 0, false)
+	if hit, _ := c.Lookup(0, 0); !hit {
+		t.Error("way 0 lost")
+	}
+	if hit, _ := c.Lookup(8*64, 0); !hit {
+		t.Error("way 1 lost")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustNew(t, 2*64, 64, 2) // one set, two ways
+	c.Insert(0, 0, false)
+	c.Insert(64, 0, false)
+	c.Lookup(0, 0) // make 64 the LRU
+	ev, evicted := c.Insert(128, 0, false)
+	if !evicted || ev.Addr != 64 {
+		t.Errorf("eviction = %+v (%v), want addr 64", ev, evicted)
+	}
+	if c.Contains(64) {
+		t.Error("evicted block still present")
+	}
+	if !c.Contains(0) || !c.Contains(128) {
+		t.Error("wrong block evicted")
+	}
+}
+
+func TestDirtyWritebackOnEviction(t *testing.T) {
+	c := mustNew(t, 2*64, 64, 2)
+	c.Insert(0, 0, true) // dirty
+	c.Insert(64, 0, false)
+	c.Insert(128, 0, false) // evicts 0 (LRU)
+	s := c.Stats()
+	if s.Writebacks != 1 || s.Evictions != 1 {
+		t.Errorf("stats = %+v, want 1 writeback / 1 eviction", s)
+	}
+}
+
+func TestWriteMarksDirty(t *testing.T) {
+	c := mustNew(t, 2*64, 64, 2)
+	c.Insert(0, 0, false)
+	if hit, _ := c.Write(0, 0); !hit {
+		t.Fatal("write to present block must hit")
+	}
+	c.Insert(64, 0, false)
+	ev, _ := c.Insert(128, 0, false) // evicts 0
+	if !ev.Dirty {
+		t.Error("written block evicted clean")
+	}
+}
+
+func TestWriteMiss(t *testing.T) {
+	c := mustNew(t, 2*64, 64, 2)
+	if hit, _ := c.Write(0, 0); hit {
+		t.Error("write to absent block must miss")
+	}
+}
+
+func TestInsertRefreshesExisting(t *testing.T) {
+	c := mustNew(t, 2*64, 64, 2)
+	c.Insert(0, 1000, false)
+	// Re-inserting (e.g. a demand fill racing a prefetch) must not
+	// evict anything and keeps the earlier ready time.
+	if _, evicted := c.Insert(0, 500, true); evicted {
+		t.Error("re-insert caused eviction")
+	}
+	if hit, ready := c.Lookup(0, 0); !hit || ready != 500 {
+		t.Errorf("refreshed line = hit=%v ready=%d, want 500", hit, ready)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := mustNew(t, 2*64, 64, 2)
+	c.Insert(0, 0, true)
+	dirty, present := c.Invalidate(0)
+	if !dirty || !present {
+		t.Errorf("Invalidate = (%v,%v), want dirty and present", dirty, present)
+	}
+	if c.Contains(0) {
+		t.Error("block still present after invalidate")
+	}
+	if _, present := c.Invalidate(0); present {
+		t.Error("double invalidate reported present")
+	}
+}
+
+// The model invariant: hit rate of a small cache under a working set
+// larger than the cache must be low; under a smaller working set high.
+func TestWorkingSetBehaviour(t *testing.T) {
+	c := mustNew(t, 64*1024, 64, 16)
+	rng := rand.New(rand.NewSource(50))
+	// Working set 4x the cache: thrash.
+	for i := 0; i < 100000; i++ {
+		addr := uint64(rng.Intn(4*1024)) * 64
+		if hit, _ := c.Lookup(addr, 0); !hit {
+			c.Insert(addr, 0, false)
+		}
+	}
+	big := c.Stats()
+	bigRate := float64(big.Hits) / float64(big.Hits+big.Misses)
+	c.ResetStats()
+	// Working set 1/4 the cache: nearly all hits.
+	for i := 0; i < 100000; i++ {
+		addr := uint64(rng.Intn(256)) * 64
+		if hit, _ := c.Lookup(addr, 0); !hit {
+			c.Insert(addr, 0, false)
+		}
+	}
+	small := c.Stats()
+	smallRate := float64(small.Hits) / float64(small.Hits+small.Misses)
+	if bigRate > 0.5 {
+		t.Errorf("thrash hit rate = %.2f, want < 0.5", bigRate)
+	}
+	if smallRate < 0.95 {
+		t.Errorf("resident hit rate = %.2f, want > 0.95", smallRate)
+	}
+}
+
+func TestNextLinePrefetcher(t *testing.T) {
+	p := NewNextLine(64, 2)
+	got := p.Observe(100, 0) // block 64..127
+	if len(got) != 2 || got[0] != 128 || got[1] != 192 {
+		t.Errorf("NextLine.Observe = %v, want [128 192]", got)
+	}
+}
+
+func TestStridePrefetcherDetectsStreams(t *testing.T) {
+	p := NewStride(64, 2)
+	// Constant stride of 256 bytes; needs 3 accesses to gain confidence.
+	if got := p.Observe(0, 1); got != nil {
+		t.Errorf("first access prefetched %v", got)
+	}
+	if got := p.Observe(256, 1); len(got) != 0 {
+		t.Errorf("second access prefetched %v", got)
+	}
+	got := p.Observe(512, 1)
+	if len(got) != 2 || got[0] != 768 || got[1] != 1024 {
+		t.Errorf("third access = %v, want [768 1024]", got)
+	}
+}
+
+func TestStridePrefetcherSilentOnRandom(t *testing.T) {
+	p := NewStride(64, 2)
+	rng := rand.New(rand.NewSource(51))
+	issued := 0
+	for i := 0; i < 1000; i++ {
+		issued += len(p.Observe(uint64(rng.Intn(1<<30)), 1))
+	}
+	if issued > 10 {
+		t.Errorf("stride prefetcher issued %d prefetches on a random stream", issued)
+	}
+}
+
+func TestStridePrefetcherPerStream(t *testing.T) {
+	p := NewStride(64, 1)
+	// Two interleaved streams with different strides must both train.
+	p.Observe(0, 1)
+	p.Observe(1<<20, 2)
+	p.Observe(64, 1)
+	p.Observe(1<<20+128, 2)
+	got1 := p.Observe(128, 1)
+	got2 := p.Observe(1<<20+256, 2)
+	if len(got1) != 1 || got1[0] != 192 {
+		t.Errorf("stream 1 prefetch = %v", got1)
+	}
+	if len(got2) != 1 || got2[0] != 1<<20+384 {
+		t.Errorf("stream 2 prefetch = %v", got2)
+	}
+}
+
+func TestCompositePrefetcher(t *testing.T) {
+	c := &Composite{Prefetchers: []Prefetcher{NewNextLine(64, 1), NewNextLine(64, 2)}}
+	got := c.Observe(0, 0)
+	if len(got) != 3 {
+		t.Errorf("composite returned %v", got)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c, _ := New(1<<20, 64, 16)
+	c.Insert(0, 0, false)
+	for i := 0; i < b.N; i++ {
+		c.Lookup(0, int64(i))
+	}
+}
+
+func BenchmarkLookupInsertChurn(b *testing.B) {
+	c, _ := New(1<<16, 64, 16)
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%8192) * 64
+		if hit, _ := c.Lookup(addr, 0); !hit {
+			c.Insert(addr, 0, i%3 == 0)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package cipher implements the two memory-encryption engines the
+// paper combines, operating on 64-byte memory blocks:
+//
+//   - Counterless (paper §II-A, Fig. 2a): AES-XTS-style. Each 16-byte
+//     word is encrypted with a data-dependent AES whose tweak comes
+//     from the block address, as in Intel TME/SGX2 and AMD SEV. The
+//     per-block MAC is a SHA-3 hash (as in Intel MKTME).
+//
+//   - CounterMode (paper §II-B, Fig. 2b): AES-CTR-style. A one-time
+//     pad is derived from the block's write counter and the word
+//     address, and XORed with the data. The per-block MAC is the XOR
+//     of a truncated OTP with a GF(2^64) dot product of the plaintext
+//     (as in SGX1's MEE / Synergy).
+//
+// Both engines are purely functional: timing belongs to internal/core.
+package cipher
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"counterlight/internal/crypto/aes"
+	"counterlight/internal/crypto/gf"
+	"counterlight/internal/crypto/keccak"
+	"counterlight/internal/crypto/mix"
+)
+
+// BlockSize is the memory block (cache line) size in bytes.
+const BlockSize = 64
+
+// WordsPerBlock is the number of 16-byte AES words per memory block.
+const WordsPerBlock = BlockSize / aes.BlockSize
+
+// Block is one 64-byte memory block.
+type Block [BlockSize]byte
+
+// Word returns the block's j-th 16-byte word as an array.
+func (b *Block) Word(j int) [16]byte {
+	var w [16]byte
+	copy(w[:], b[16*j:16*j+16])
+	return w
+}
+
+// SetWord stores w into the block's j-th 16-byte word.
+func (b *Block) SetWord(j int, w [16]byte) {
+	copy(b[16*j:16*j+16], w[:])
+}
+
+// Words64 returns the block as eight 64-bit little-endian words, the
+// granularity of the MAC dot product (one word per memory chip).
+func (b *Block) Words64() [8]uint64 {
+	var w [8]uint64
+	for i := range w {
+		w[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return w
+}
+
+// XOR returns b ^ o.
+func (b Block) XOR(o Block) Block {
+	for i := range b {
+		b[i] ^= o[i]
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Counterless engine (AES-XTS style)
+// ---------------------------------------------------------------------------
+
+// Counterless encrypts blocks in the counterless (XTS) mode.
+type Counterless struct {
+	dataKey  *aes.Cipher
+	tweakKey *aes.Cipher
+	macKey   []byte
+}
+
+// NewCounterless builds a counterless engine. dataKey and tweakKey
+// must be valid AES key lengths (16, 24, or 32 bytes); both halves of
+// the XTS key pair conventionally have the same size.
+func NewCounterless(dataKey, tweakKey, macKey []byte) (*Counterless, error) {
+	dk, err := aes.New(dataKey)
+	if err != nil {
+		return nil, fmt.Errorf("cipher: data key: %w", err)
+	}
+	tk, err := aes.New(tweakKey)
+	if err != nil {
+		return nil, fmt.Errorf("cipher: tweak key: %w", err)
+	}
+	if len(macKey) == 0 {
+		return nil, fmt.Errorf("cipher: empty MAC key")
+	}
+	return &Counterless{dataKey: dk, tweakKey: tk, macKey: append([]byte(nil), macKey...)}, nil
+}
+
+// Rounds reports the AES round count of the data cipher, which drives
+// the latency model (10 for AES-128, 14 for AES-256).
+func (c *Counterless) Rounds() int { return c.dataKey.Rounds() }
+
+// tweak computes the encrypted tweak for the block at addr, then the
+// per-word tweaks T_j = T ⊗ α^j in GF(2^128) (Fig. 2a's
+// "Tweak(Address) ⊗ α^j").
+func (c *Counterless) tweaks(addr uint64) [WordsPerBlock][16]byte {
+	var in [16]byte
+	binary.LittleEndian.PutUint64(in[:], addr/BlockSize)
+	t := c.tweakKey.EncryptBlock(in)
+	var out [WordsPerBlock][16]byte
+	for j := 0; j < WordsPerBlock; j++ {
+		out[j] = t
+		t = mulAlpha(t)
+	}
+	return out
+}
+
+// mulAlpha doubles a 16-byte value in GF(2^128) with the XTS
+// polynomial x^128 + x^7 + x^2 + x + 1, little-endian bit order.
+func mulAlpha(t [16]byte) [16]byte {
+	var out [16]byte
+	carry := byte(0)
+	for i := 0; i < 16; i++ {
+		out[i] = t[i]<<1 | carry
+		carry = t[i] >> 7
+	}
+	if carry != 0 {
+		out[0] ^= 0x87
+	}
+	return out
+}
+
+// Encrypt encrypts a block stored at byte address addr:
+// C_j = AES_k1(P_j ⊕ T_j) ⊕ T_j for each 16-byte word.
+func (c *Counterless) Encrypt(addr uint64, plain Block) Block {
+	tw := c.tweaks(addr)
+	var ct Block
+	for j := 0; j < WordsPerBlock; j++ {
+		w := plain.Word(j)
+		for i := range w {
+			w[i] ^= tw[j][i]
+		}
+		w = c.dataKey.EncryptBlock(w)
+		for i := range w {
+			w[i] ^= tw[j][i]
+		}
+		ct.SetWord(j, w)
+	}
+	return ct
+}
+
+// Decrypt inverts Encrypt. The AES here is data-dependent: it can only
+// start after the ciphertext arrives, which is the latency problem the
+// paper characterizes in §III.
+func (c *Counterless) Decrypt(addr uint64, ct Block) Block {
+	tw := c.tweaks(addr)
+	var plain Block
+	for j := 0; j < WordsPerBlock; j++ {
+		w := ct.Word(j)
+		for i := range w {
+			w[i] ^= tw[j][i]
+		}
+		w = c.dataKey.DecryptBlock(w)
+		for i := range w {
+			w[i] ^= tw[j][i]
+		}
+		plain.SetWord(j, w)
+	}
+	return plain
+}
+
+// MAC computes the 64-bit counterless-mode MAC: SHA-3 over the
+// ciphertext, address, and EncryptionMetadata (paper §IV-C adds
+// EncryptionMetadata as an input to the SHA-3 used for the counterless
+// MAC; the MAC stays 64 bits "to keep hardware regular").
+func (c *Counterless) MAC(addr uint64, ct Block, encMeta uint32) uint64 {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:], addr)
+	binary.LittleEndian.PutUint32(hdr[8:], encMeta)
+	return keccak.MAC64(c.macKey, hdr[:], ct[:])
+}
+
+// ---------------------------------------------------------------------------
+// Counter-mode engine (AES-CTR style with OTP combining)
+// ---------------------------------------------------------------------------
+
+// Combiner merges the counter-only AES result with the address-only
+// AES result into a one-time pad (Fig. 15). mix.Linear reproduces
+// RMCC; mix.Nonlinear is Counter-light's hardened variant.
+type Combiner func(counterAES, addrAES mix.Word) mix.Word
+
+// CounterMode encrypts blocks with a counter-derived one-time pad.
+// Per §IV-D, a single global key serves all VMs in counter mode, which
+// is what makes the AES memoization table viable.
+type CounterMode struct {
+	key     *aes.Cipher
+	macKeys []uint64
+	combine Combiner
+}
+
+// NewCounterMode builds a counter-mode engine. key must be a valid AES
+// key; macSecret seeds the GF(2^64) dot-product key schedule; combine
+// selects the OTP combining logic (nil means mix.Nonlinear).
+func NewCounterMode(key []byte, macSecret uint64, combine Combiner) (*CounterMode, error) {
+	k, err := aes.New(key)
+	if err != nil {
+		return nil, fmt.Errorf("cipher: counter-mode key: %w", err)
+	}
+	if combine == nil {
+		combine = mix.Nonlinear
+	}
+	return &CounterMode{
+		key:     k,
+		macKeys: gf.KeySchedule(macSecret, 9), // 8 data words + 1 metadata word
+		combine: combine,
+	}, nil
+}
+
+// Rounds reports the AES round count (latency model input).
+func (c *CounterMode) Rounds() int { return c.key.Rounds() }
+
+// CounterAES is the counter-only AES of Fig. 4: AES over the padded
+// counter value. Its results are what the memoization table stores —
+// a single counter value's result serves every block that currently
+// holds that counter value.
+func (c *CounterMode) CounterAES(counter uint64) mix.Word {
+	var in [16]byte
+	binary.LittleEndian.PutUint64(in[:], counter)
+	in[15] = 0xC7 // domain separator: counter input
+	return mix.FromBytes(c.key.EncryptBlock(in))
+}
+
+// AddrAES is the address-only AES of Fig. 4 for one 16-byte word
+// address. It depends only on the address, so hardware computes it
+// while the data is in flight.
+func (c *CounterMode) AddrAES(wordAddr uint64) mix.Word {
+	var in [16]byte
+	binary.LittleEndian.PutUint64(in[:], wordAddr)
+	in[15] = 0xAD // domain separator: address input
+	return mix.FromBytes(c.key.EncryptBlock(in))
+}
+
+// OTP produces the one-time pad for word j of the block at addr,
+// written with counter value counter.
+func (c *CounterMode) OTP(counter, addr uint64, j int) mix.Word {
+	return c.combine(c.CounterAES(counter), c.AddrAES(addr+uint64(16*j)))
+}
+
+// Pad returns the full 64-byte pad for a block.
+func (c *CounterMode) Pad(counter, addr uint64) Block {
+	var pad Block
+	ctrAES := c.CounterAES(counter)
+	for j := 0; j < WordsPerBlock; j++ {
+		w := c.combine(ctrAES, c.AddrAES(addr+uint64(16*j)))
+		pad.SetWord(j, w.Bytes())
+	}
+	return pad
+}
+
+// Encrypt XORs the plaintext with the pad. Decryption is identical.
+func (c *CounterMode) Encrypt(counter, addr uint64, plain Block) Block {
+	return plain.XOR(c.Pad(counter, addr))
+}
+
+// Decrypt inverts Encrypt. Because the pad depends only on (counter,
+// addr), it can be ready before the data arrives — the core of the
+// paper's latency advantage.
+func (c *CounterMode) Decrypt(counter, addr uint64, ct Block) Block {
+	return ct.XOR(c.Pad(counter, addr))
+}
+
+// MAC computes the 64-bit counter-mode MAC: a truncated OTP XORed with
+// a GF(2^64) dot product over the plaintext words and the
+// EncryptionMetadata (paper §II-B and §IV-C; the counter value is the
+// EncryptionMetadata in counter mode, so it enters through both the
+// OTP and the dot product).
+func (c *CounterMode) MAC(counter, addr uint64, plain Block, encMeta uint32) uint64 {
+	// A dedicated OTP word (index WordsPerBlock, beyond the data
+	// words) keeps the MAC pad independent of the data pads.
+	otp := c.OTP(counter, addr, WordsPerBlock)
+	words := plain.Words64()
+	inputs := make([]uint64, 0, 9)
+	inputs = append(inputs, words[:]...)
+	inputs = append(inputs, uint64(encMeta))
+	return otp.Lo ^ gf.DotProduct(inputs, c.macKeys)
+}

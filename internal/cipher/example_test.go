@@ -1,0 +1,50 @@
+package cipher_test
+
+import (
+	"fmt"
+
+	"counterlight/internal/cipher"
+)
+
+// Counterless (AES-XTS-style) encryption is deterministic per
+// (address, data): the cipher input is the data itself, which is why
+// decryption can only start after the data arrives (paper §III).
+func ExampleCounterless() {
+	eng, err := cipher.NewCounterless(make([]byte, 16), make([]byte, 16), []byte("mac-key"))
+	if err != nil {
+		panic(err)
+	}
+	var plain cipher.Block
+	copy(plain[:], []byte("hello, memory"))
+
+	ct := eng.Encrypt(0x1000, plain)
+	back := eng.Decrypt(0x1000, ct)
+	fmt.Println(string(back[:13]))
+	// Same data, same address: same ciphertext (the determinism that
+	// forces per-VM keys, §IV-D).
+	fmt.Println(ct == eng.Encrypt(0x1000, plain))
+	// Output:
+	// hello, memory
+	// true
+}
+
+// Counter mode derives a one-time pad from (counter, address); the pad
+// is computable before the data arrives, which is the latency
+// advantage Counter-light retains.
+func ExampleCounterMode() {
+	eng, err := cipher.NewCounterMode(make([]byte, 16), 42, nil)
+	if err != nil {
+		panic(err)
+	}
+	var plain cipher.Block
+	copy(plain[:], []byte("hello, memory"))
+
+	ct1 := eng.Encrypt(1, 0x1000, plain) // counter 1
+	ct2 := eng.Encrypt(2, 0x1000, plain) // counter 2: fresh pad
+	back := eng.Decrypt(1, 0x1000, ct1)
+	fmt.Println(string(back[:13]))
+	fmt.Println(ct1 == ct2)
+	// Output:
+	// hello, memory
+	// false
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"counterlight/internal/trace"
+)
+
+func TestCalibrationRegular(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	for _, w := range trace.RegularSet() {
+		cfg := DefaultConfig(NoEnc)
+		cfg.WarmupTime = 4 * ms
+		cfg.WindowTime = 2 * ms
+		base, err := Run(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-10s noenc: %s", w.Name, base)
+		for _, sc := range []Scheme{Counterless, CounterLight} {
+			c2 := cfg
+			c2.Scheme = sc
+			r, _ := Run(c2, w)
+			t.Logf("%-10s %-14s perf=%.3f missLat=%.1fns util=%.2f wbCls=%.2f",
+				w.Name, sc, r.PerfNormalizedTo(base), r.AvgMissLatNS, r.BusUtilization, r.CounterlessWBFraction())
+		}
+	}
+}
+
+func TestCalibrationStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	for _, name := range []string{"omnetpp", "canneal", "streamcluster", "bfs", "mcf"} {
+		w, _ := trace.ByName(name)
+		cfg := DefaultConfig(NoEnc)
+		cfg.BandwidthGBs = 6.4
+		cfg.WarmupTime = 4 * ms
+		cfg.WindowTime = 2 * ms
+		base, err := Run(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Scheme = Counterless
+		cls, _ := Run(cfg, w)
+		cfg.Scheme = CounterLight
+		cl, _ := Run(cfg, w)
+		cfg.DynamicSwitch = false
+		clNS, _ := Run(cfg, w)
+		t.Logf("%-14s util(noenc)=%.2f cls=%.3f cl=%.3f cl/cls=%.3f clNoSwitch=%.3f wbCls=%.2f",
+			name, base.BusUtilization, cls.PerfNormalizedTo(base), cl.PerfNormalizedTo(base),
+			cl.PerfNormalizedTo(cls), clNS.PerfNormalizedTo(base), cl.CounterlessWBFraction())
+	}
+}

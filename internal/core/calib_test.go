@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"counterlight/internal/trace"
+)
+
+// TestCalibrationProbe logs normalized performance per workload and
+// scheme; run with -v to inspect. Skipped in -short mode.
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	for _, w := range trace.IrregularSet() {
+		cfg := DefaultConfig(NoEnc)
+		cfg.WarmupTime = 4 * ms
+		cfg.WindowTime = 2 * ms
+		base, err := Run(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-14s noenc: %s", w.Name, base)
+		for _, sc := range []Scheme{Counterless, CounterMode, CounterModeSingle, CounterLight} {
+			c2 := cfg
+			c2.Scheme = sc
+			r, err := Run(c2, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-14s %-18s perf=%.3f missLat=%.1fns util=%.2f memo=%.2f ctrLate=%.2f wbCls=%.2f",
+				w.Name, sc, r.PerfNormalizedTo(base), r.AvgMissLatNS, r.BusUtilization,
+				r.MemoHitRate, r.CounterLateFrac, r.CounterlessWBFraction())
+		}
+	}
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+
+	"counterlight/internal/cipher"
+	"counterlight/internal/ctrblock"
+	"counterlight/internal/ecc"
+	"counterlight/internal/entropy"
+	"counterlight/internal/epoch"
+	"counterlight/internal/memoize"
+)
+
+// EngineOptions configures the functional engine.
+type EngineOptions struct {
+	MemSize     uint64 // bytes of protected data memory
+	AESKeyBytes int    // 16 (AES-128) or 32 (AES-256)
+	MemoEntries int
+	// EntropyDisambiguation enables the §IV-E enhancement: when
+	// correction is ambiguous between the two mode hypotheses, pick
+	// the candidate whose plaintext does not look random.
+	EntropyDisambiguation bool
+	// VMs is the number of per-VM counterless keys to provision
+	// (§IV-D: counterless mode needs per-VM keys to block the
+	// ciphertext side channel; counter mode shares one global key
+	// because the counter makes every ciphertext unique). 0 means 1.
+	VMs int
+	// CounterLimit overrides the maximum counter value (default
+	// ctrblock.CounterMax). Lowering it lets tests exercise the
+	// §IV-C saturation path: a block whose counter would exceed the
+	// limit permanently switches to counterless mode.
+	CounterLimit uint32
+}
+
+// DefaultEngineOptions uses a small (test-friendly) memory with the
+// paper's table sizes.
+func DefaultEngineOptions() EngineOptions {
+	return EngineOptions{
+		MemSize:               1 << 26, // 64 MB
+		AESKeyBytes:           16,
+		MemoEntries:           128,
+		EntropyDisambiguation: true,
+	}
+}
+
+// Engine is the functional Counter-light memory controller: it owns
+// the keys, the counters and integrity tree, the memoization table,
+// and a simulated ECC DRAM array, and moves real bytes through the
+// full encrypt/MAC/ECC pipeline of Figs. 11-14.
+type Engine struct {
+	opts EngineOptions
+	cls  []*cipher.Counterless // one per VM (§IV-D)
+	cm   *cipher.CounterMode   // single global key
+	ctrs *ctrblock.Store
+	memo *memoize.Table
+	mem  map[uint64]ecc.CodeWord // block-aligned address -> stored codeword
+
+	// permanentCounterless records blocks whose counters saturated
+	// (§IV-C) or that were mapped out of a faulty rank (§IV-E).
+	permanentCounterless map[uint64]bool
+	// vmOf records which VM's counterless key encrypted each block
+	// (counter-mode blocks all share the global key).
+	vmOf map[uint64]int
+
+	stats EngineStats
+}
+
+// EngineStats counts functional-path events.
+type EngineStats struct {
+	Reads, Writes        uint64
+	CounterModeWrites    uint64
+	CounterlessWrites    uint64
+	MemoHits, MemoMisses uint64
+	Corrections          uint64
+	EntropyResolved      uint64
+	DUEs                 uint64
+	MACFailures          uint64 // reads whose fast-path MAC check failed
+}
+
+// NewEngine builds a functional engine with fresh random-free (zero)
+// keys — determinism matters more than secrecy in a simulator; callers
+// needing distinct keys can vary them via the cipher packages.
+func NewEngine(opts EngineOptions) (*Engine, error) {
+	if opts.AESKeyBytes != 16 && opts.AESKeyBytes != 32 {
+		return nil, fmt.Errorf("core: AES key must be 16 or 32 bytes, got %d", opts.AESKeyBytes)
+	}
+	if opts.MemSize == 0 || opts.MemSize%64 != 0 {
+		return nil, fmt.Errorf("core: invalid memory size %d", opts.MemSize)
+	}
+	if opts.VMs <= 0 {
+		opts.VMs = 1
+	}
+	if opts.CounterLimit == 0 {
+		opts.CounterLimit = ctrblock.CounterMax
+	}
+	cls := make([]*cipher.Counterless, opts.VMs)
+	for vm := range cls {
+		clsKey := make([]byte, opts.AESKeyBytes)
+		clsKey[0] = 0x01
+		clsKey[1] = byte(vm) // per-VM counterless key (§IV-D)
+		tweakKey := make([]byte, opts.AESKeyBytes)
+		tweakKey[0] = 0x02
+		tweakKey[1] = byte(vm)
+		var err error
+		cls[vm], err = cipher.NewCounterless(clsKey, tweakKey, []byte("counterless-mac-key"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	cmKey := make([]byte, opts.AESKeyBytes)
+	cmKey[0] = 0x03
+	cm, err := cipher.NewCounterMode(cmKey, 0x5eed0fc0de15BAD1, nil)
+	if err != nil {
+		return nil, err
+	}
+	ctrs, err := ctrblock.New(opts.MemSize, 64)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MemoEntries <= 0 {
+		opts.MemoEntries = 128
+	}
+	return &Engine{
+		opts:                 opts,
+		cls:                  cls,
+		cm:                   cm,
+		ctrs:                 ctrs,
+		memo:                 memoize.New(opts.MemoEntries, 0, cm.CounterAES),
+		mem:                  make(map[uint64]ecc.CodeWord),
+		permanentCounterless: make(map[uint64]bool),
+		vmOf:                 make(map[uint64]int),
+	}, nil
+}
+
+// Stats returns a copy of the engine's counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// Counters exposes the counter store (tests exercise replay attacks
+// through it).
+func (e *Engine) Counters() *ctrblock.Store { return e.ctrs }
+
+// Memo exposes the memoization table.
+func (e *Engine) Memo() *memoize.Table { return e.memo }
+
+func (e *Engine) checkAddr(addr uint64) error {
+	if addr%64 != 0 {
+		return fmt.Errorf("core: address %#x not block aligned", addr)
+	}
+	if addr >= e.opts.MemSize {
+		return fmt.Errorf("core: address %#x beyond memory size %#x", addr, e.opts.MemSize)
+	}
+	return nil
+}
+
+// Write encrypts and stores a block for VM 0. mode selects the
+// writeback encryption mode the epoch monitor decided (paper §IV-B);
+// blocks with saturated counters are forced counterless regardless.
+func (e *Engine) Write(addr uint64, plain cipher.Block, mode epoch.Mode) error {
+	return e.WriteAs(0, addr, plain, mode)
+}
+
+// WriteAs is Write on behalf of a specific VM. Counter-mode blocks
+// share the single global key (§IV-D: the counter makes every
+// ciphertext unique, so one key and one memoization table serve all
+// VMs); counterless blocks use the VM's own key to block the
+// ciphertext side channel.
+func (e *Engine) WriteAs(vm int, addr uint64, plain cipher.Block, mode epoch.Mode) error {
+	if err := e.checkAddr(addr); err != nil {
+		return err
+	}
+	if vm < 0 || vm >= len(e.cls) {
+		return fmt.Errorf("core: VM %d out of range [0,%d)", vm, len(e.cls))
+	}
+	e.stats.Writes++
+	e.vmOf[addr] = vm
+	if e.permanentCounterless[addr] {
+		mode = epoch.Counterless
+	}
+	if mode == epoch.CounterMode {
+		// Verify the counter path before trusting the old counter
+		// (Fig. 10's attack is caught here), then advance it to a
+		// memoized value.
+		if !e.ctrs.VerifyCounter(addr) {
+			return fmt.Errorf("core: integrity tree verification failed at %#x (counter replay?)", addr)
+		}
+		old := e.ctrs.Counter(addr)
+		next := e.memo.NextWriteCounter(old)
+		if next > e.opts.CounterLimit {
+			// Counter saturated: this block is counterless forever
+			// (until "reboot"; §IV-C).
+			e.permanentCounterless[addr] = true
+			mode = epoch.Counterless
+		} else {
+			if err := e.ctrs.Increment(addr, next); err != nil {
+				return fmt.Errorf("core: counter update: %w", err)
+			}
+			ct := e.cm.Encrypt(uint64(next), addr, plain)
+			mac := e.cm.MAC(uint64(next), addr, plain, next)
+			e.mem[addr] = ecc.Encode(ct, mac, uint64(next))
+			e.stats.CounterModeWrites++
+			return nil
+		}
+	}
+	// Counterless writeback: EncryptionMetadata is the all-ones flag.
+	cls := e.cls[vm]
+	ct := cls.Encrypt(addr, plain)
+	mac := cls.MAC(addr, ct, uint32(ctrblock.CounterlessFlag))
+	e.mem[addr] = ecc.Encode(ct, mac, ctrblock.CounterlessFlag)
+	e.stats.CounterlessWrites++
+	return nil
+}
+
+// clsFor returns the counterless engine for the VM that owns addr
+// (the real MC gets the key ID alongside the request; we keep it in a
+// side table).
+func (e *Engine) clsFor(addr uint64) *cipher.Counterless {
+	return e.cls[e.vmOf[addr]]
+}
+
+// ReadInfo describes how a read was served.
+type ReadInfo struct {
+	Mode            epoch.Mode // encryption mode the block was in
+	MemoHit         bool       // counter-AES served from the memoization table
+	Corrected       bool       // error correction ran and succeeded
+	BadChip         int        // corrected chip (-1 if none)
+	EntropyResolved bool       // §IV-E disambiguation picked the candidate
+}
+
+// Read fetches, verifies, and decrypts the block at addr, running the
+// fault-free fast path of Fig. 13 and falling back to the Fig. 14
+// correction flow when the MAC check fails.
+func (e *Engine) Read(addr uint64) (cipher.Block, ReadInfo, error) {
+	info := ReadInfo{BadChip: -1}
+	if err := e.checkAddr(addr); err != nil {
+		return cipher.Block{}, info, err
+	}
+	cw, ok := e.mem[addr]
+	if !ok {
+		return cipher.Block{}, info, fmt.Errorf("core: read of unwritten block %#x", addr)
+	}
+	e.stats.Reads++
+
+	// Fast path: decode EncryptionMetadata from the parity and check
+	// the mode-appropriate MAC.
+	meta := cw.DecodeMeta()
+	ct := cw.Block()
+	if mac, mode, ok := e.macFor(addr, ct, meta); ok && mac == cw.MAC {
+		plain, memoHit := e.decrypt(addr, ct, meta)
+		info.Mode = mode
+		info.MemoHit = memoHit
+		return plain, info, nil
+	}
+	e.stats.MACFailures++
+
+	// Correction path: two EncryptionMetadata hypotheses (Fig. 14).
+	res := ecc.Correct(cw, e.hypotheses(addr))
+	if res.OK {
+		e.stats.Corrections++
+		plain, memoHit := e.decrypt(addr, res.Data, res.Meta)
+		info.Mode = modeOf(res.Meta)
+		info.MemoHit = memoHit
+		info.Corrected = true
+		info.BadChip = res.BadChip
+		return plain, info, nil
+	}
+	// Ambiguity: try the entropy disambiguator (§IV-E) across the
+	// matching candidates.
+	if e.opts.EntropyDisambiguation && len(res.Candidates) > 1 {
+		plains := make([]cipher.Block, len(res.Candidates))
+		for i, c := range res.Candidates {
+			plains[i], _ = e.decrypt(addr, c.Data, c.Meta)
+		}
+		if pick := entropy.Classify(plains); pick >= 0 {
+			c := res.Candidates[pick]
+			e.stats.Corrections++
+			e.stats.EntropyResolved++
+			info.Mode = modeOf(c.Meta)
+			info.Corrected = true
+			info.EntropyResolved = true
+			info.BadChip = c.BadChip
+			return plains[pick], info, nil
+		}
+	}
+	e.stats.DUEs++
+	return cipher.Block{}, info, fmt.Errorf("core: detected uncorrectable error at %#x (%d candidates)", addr, len(res.Candidates))
+}
+
+func modeOf(meta uint64) epoch.Mode {
+	if meta == ctrblock.CounterlessFlag {
+		return epoch.Counterless
+	}
+	return epoch.CounterMode
+}
+
+// macFor recomputes the MAC the block should carry given its decoded
+// metadata. ok is false when the metadata is out of range (cannot be a
+// legal counter), which routes the read to the correction path.
+func (e *Engine) macFor(addr uint64, ct cipher.Block, meta uint64) (mac uint64, mode epoch.Mode, ok bool) {
+	if meta == ctrblock.CounterlessFlag {
+		return e.clsFor(addr).MAC(addr, ct, uint32(ctrblock.CounterlessFlag)), epoch.Counterless, true
+	}
+	if meta > ctrblock.CounterMax {
+		return 0, epoch.CounterMode, false
+	}
+	// Counter-mode MAC is computed over the plaintext, which the MC
+	// obtains by XORing the (pre-computable) pad.
+	plain := e.cm.Decrypt(meta, addr, ct)
+	return e.cm.MAC(meta, addr, plain, uint32(meta)), epoch.CounterMode, true
+}
+
+// decrypt applies the mode the metadata selects, going through the
+// memoization table for counter mode exactly as the hardware would.
+func (e *Engine) decrypt(addr uint64, ct cipher.Block, meta uint64) (cipher.Block, bool) {
+	if meta == ctrblock.CounterlessFlag {
+		return e.clsFor(addr).Decrypt(addr, ct), false
+	}
+	_, hit := e.memo.Lookup(uint32(meta))
+	if hit {
+		e.stats.MemoHits++
+	} else {
+		e.stats.MemoMisses++
+	}
+	return e.cm.Decrypt(meta, addr, ct), hit
+}
+
+// hypotheses builds the two Fig. 14 correction hypotheses: the counter
+// value fetched from the counter block, and the counterless flag.
+func (e *Engine) hypotheses(addr uint64) []ecc.Hypothesis {
+	ctr := uint64(e.ctrs.Counter(addr))
+	return []ecc.Hypothesis{
+		{
+			Name: "counter",
+			Meta: ctr,
+			MAC: func(ct cipher.Block, meta uint64) uint64 {
+				plain := e.cm.Decrypt(meta, addr, ct)
+				return e.cm.MAC(meta, addr, plain, uint32(meta))
+			},
+		},
+		{
+			Name: "counterless",
+			Meta: ctrblock.CounterlessFlag,
+			MAC: func(ct cipher.Block, meta uint64) uint64 {
+				return e.clsFor(addr).MAC(addr, ct, uint32(meta))
+			},
+		},
+	}
+}
+
+// InjectFault corrupts one chip of the stored block (for reliability
+// tests and the secure_memory example). chip 0..7 are data chips, 8 is
+// the MAC chip, 9 the parity chip.
+func (e *Engine) InjectFault(addr uint64, chip int, pattern uint64) error {
+	if err := e.checkAddr(addr); err != nil {
+		return err
+	}
+	cw, ok := e.mem[addr]
+	if !ok {
+		return fmt.Errorf("core: no block at %#x", addr)
+	}
+	switch {
+	case chip >= 0 && chip < ecc.DataChips:
+		cw.Data[chip] ^= pattern
+	case chip == ecc.MACChip:
+		cw.MAC ^= pattern
+	case chip == ecc.ParityChip:
+		cw.Parity ^= pattern
+	default:
+		return fmt.Errorf("core: invalid chip %d", chip)
+	}
+	e.mem[addr] = cw
+	return nil
+}
+
+// Snapshot captures the raw stored codeword (what a bus probe would
+// see); Restore writes it back verbatim — together they model a
+// physical replay of a whole data block, which Counter-light, like
+// counterless encryption, does not detect (§IV-F).
+func (e *Engine) Snapshot(addr uint64) (ecc.CodeWord, bool) {
+	cw, ok := e.mem[addr]
+	return cw, ok
+}
+
+// Restore implements the replay half of Snapshot.
+func (e *Engine) Restore(addr uint64, cw ecc.CodeWord) {
+	e.mem[addr] = cw
+}
+
+// ForceCounterless permanently switches a block (e.g. one in a rank
+// diagnosed with a hard fault, §IV-E) to counterless mode.
+func (e *Engine) ForceCounterless(addr uint64) { e.permanentCounterless[addr] = true }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"counterlight/internal/cipher"
+	"counterlight/internal/epoch"
+)
+
+// Property: under arbitrary interleavings of writes (random data,
+// random mode) and reads across a set of addresses, a read always
+// returns the most recently written data for that address, with the
+// mode the write used.
+func TestQuickReadAfterWrite(t *testing.T) {
+	e, err := NewEngine(DefaultEngineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := map[uint64]cipher.Block{}
+	modes := map[uint64]epoch.Mode{}
+	rng := rand.New(rand.NewSource(2024))
+	f := func(addrSeed uint16, data cipher.Block, useCounterless bool) bool {
+		addr := uint64(addrSeed) * 64 % (1 << 20)
+		mode := epoch.CounterMode
+		if useCounterless {
+			mode = epoch.Counterless
+		}
+		if err := e.Write(addr, data, mode); err != nil {
+			t.Logf("write failed: %v", err)
+			return false
+		}
+		shadow[addr] = data
+		modes[addr] = mode
+		// Read back a random previously written address.
+		keys := make([]uint64, 0, len(shadow))
+		for k := range shadow {
+			keys = append(keys, k)
+		}
+		probe := keys[rng.Intn(len(keys))]
+		got, info, err := e.Read(probe)
+		if err != nil {
+			t.Logf("read failed: %v", err)
+			return false
+		}
+		if got != shadow[probe] {
+			t.Logf("data mismatch at %#x", probe)
+			return false
+		}
+		if info.Mode != modes[probe] {
+			t.Logf("mode mismatch at %#x: %v vs %v", probe, info.Mode, modes[probe])
+			return false
+		}
+		return !info.Corrected // no fault injected, no correction expected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a single-chip fault at any position never changes the data
+// a read returns (chipkill), regardless of mode or data.
+func TestQuickFaultTransparency(t *testing.T) {
+	e, err := NewEngine(DefaultEngineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(addrSeed uint16, data cipher.Block, chipSel uint8, pattern uint64, useCounterless bool) bool {
+		if pattern == 0 {
+			pattern = 1
+		}
+		addr := uint64(addrSeed) * 64 % (1 << 20)
+		mode := epoch.CounterMode
+		if useCounterless {
+			mode = epoch.Counterless
+		}
+		if err := e.Write(addr, data, mode); err != nil {
+			return false
+		}
+		chip := int(chipSel) % 10
+		if err := e.InjectFault(addr, chip, pattern); err != nil {
+			return false
+		}
+		got, info, err := e.Read(addr)
+		if err != nil {
+			t.Logf("read after fault failed: %v", err)
+			return false
+		}
+		return got == data && info.Corrected && info.BadChip == chip
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

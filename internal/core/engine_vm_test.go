@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"counterlight/internal/cipher"
+	"counterlight/internal/epoch"
+)
+
+// The §IV-D ciphertext side channel: under ONE counterless key, two
+// VMs writing the same plaintext to the same block produce the same
+// ciphertext, so an attacker VM that knows its own plaintext learns
+// the victim's. Per-VM keys break the equality; counter mode never
+// exhibits it because the counter advances.
+func TestCiphertextSideChannel(t *testing.T) {
+	opts := DefaultEngineOptions()
+	opts.VMs = 2
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var secret cipher.Block
+	copy(secret[:], []byte("the victim's database record"))
+	const addr = 0x2000
+
+	// Attacker VM (0) writes a known plaintext and captures the bus.
+	if err := e.WriteAs(0, addr, secret, epoch.Counterless); err != nil {
+		t.Fatal(err)
+	}
+	attacker, _ := e.Snapshot(addr)
+
+	// Victim VM (1) later reuses the block for the same value.
+	if err := e.WriteAs(1, addr, secret, epoch.Counterless); err != nil {
+		t.Fatal(err)
+	}
+	victim, _ := e.Snapshot(addr)
+
+	if attacker.Data == victim.Data {
+		t.Error("two VMs produced identical counterless ciphertext — side channel open")
+	}
+
+	// Counter mode with the shared global key: same plaintext, same
+	// address, two writes — the counter still makes them differ.
+	if err := e.WriteAs(0, addr, secret, epoch.CounterMode); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := e.Snapshot(addr)
+	if err := e.WriteAs(0, addr, secret, epoch.CounterMode); err != nil {
+		t.Fatal(err)
+	}
+	second, _ := e.Snapshot(addr)
+	if first.Data == second.Data {
+		t.Error("counter mode repeated a ciphertext across writes")
+	}
+}
+
+// Per-VM round trips: each VM reads back its own data.
+func TestPerVMRoundTrip(t *testing.T) {
+	opts := DefaultEngineOptions()
+	opts.VMs = 4
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(500))
+	for vm := 0; vm < 4; vm++ {
+		addr := uint64(vm+1) * 4096
+		var plain cipher.Block
+		rng.Read(plain[:])
+		if err := e.WriteAs(vm, addr, plain, epoch.Counterless); err != nil {
+			t.Fatal(err)
+		}
+		got, info, err := e.Read(addr)
+		if err != nil {
+			t.Fatalf("vm %d: %v", vm, err)
+		}
+		if got != plain || info.Mode != epoch.Counterless {
+			t.Errorf("vm %d: round trip failed", vm)
+		}
+	}
+}
+
+func TestWriteAsValidatesVM(t *testing.T) {
+	e := newEngine(t) // 1 VM
+	if err := e.WriteAs(1, 0, cipher.Block{}, epoch.CounterMode); err == nil {
+		t.Error("out-of-range VM accepted")
+	}
+	if err := e.WriteAs(-1, 0, cipher.Block{}, epoch.CounterMode); err == nil {
+		t.Error("negative VM accepted")
+	}
+}
+
+// §IV-C: when a block's counter would exceed the maximum
+// EncryptionMetadata value, the block permanently switches to
+// counterless mode.
+func TestCounterSaturationSwitchesPermanently(t *testing.T) {
+	opts := DefaultEngineOptions()
+	opts.CounterLimit = 6 // tiny limit to force saturation quickly
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain cipher.Block
+	const addr = 0x3000
+	sawCounterless := false
+	for i := 0; i < 20; i++ {
+		if err := e.Write(addr, plain, epoch.CounterMode); err != nil {
+			t.Fatal(err)
+		}
+		_, info, err := e.Read(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Mode == epoch.Counterless {
+			sawCounterless = true
+		} else if sawCounterless {
+			t.Fatal("block returned to counter mode after saturation")
+		}
+	}
+	if !sawCounterless {
+		t.Fatal("counter never saturated despite the tiny limit")
+	}
+	// Even explicit counter-mode requests stay counterless now.
+	if err := e.Write(addr, plain, epoch.CounterMode); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := e.Read(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode != epoch.Counterless {
+		t.Error("saturated block served in counter mode")
+	}
+	// Other blocks are unaffected.
+	if err := e.Write(addr+64, plain, epoch.CounterMode); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err = e.Read(addr + 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode != epoch.CounterMode {
+		t.Error("saturation leaked to a different block")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+
+	"counterlight/internal/trace"
+)
+
+// SeedStats summarizes a multi-seed run: the mean and sample standard
+// deviation of performance normalized to the NoEnc baseline, run
+// pairwise on identical seeds. Published simulator results hide
+// seed-to-seed variance; this is the robustness check a reviewer asks
+// for.
+type SeedStats struct {
+	Seeds    []int64
+	PerSeed  []float64 // normalized performance per seed
+	Mean     float64
+	StdDev   float64
+	Min, Max float64
+}
+
+// RunSeeds runs the configuration against n seeds (1, 2, ..., n unless
+// cfg.Seed is nonzero, in which case seeds start there) and reports
+// the distribution of performance normalized to the no-encryption
+// baseline on the same seed.
+func RunSeeds(cfg Config, w trace.Workload, n int) (SeedStats, error) {
+	var out SeedStats
+	if n < 1 {
+		n = 1
+	}
+	start := cfg.Seed
+	if start == 0 {
+		start = 1
+	}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = start + int64(i)
+		res, base, err := RunPair(c, w)
+		if err != nil {
+			return out, err
+		}
+		p := res.PerfNormalizedTo(base)
+		out.Seeds = append(out.Seeds, c.Seed)
+		out.PerSeed = append(out.PerSeed, p)
+	}
+	sum := 0.0
+	out.Min, out.Max = out.PerSeed[0], out.PerSeed[0]
+	for _, p := range out.PerSeed {
+		sum += p
+		if p < out.Min {
+			out.Min = p
+		}
+		if p > out.Max {
+			out.Max = p
+		}
+	}
+	out.Mean = sum / float64(len(out.PerSeed))
+	if len(out.PerSeed) > 1 {
+		varSum := 0.0
+		for _, p := range out.PerSeed {
+			d := p - out.Mean
+			varSum += d * d
+		}
+		out.StdDev = math.Sqrt(varSum / float64(len(out.PerSeed)-1))
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"counterlight/internal/trace"
+)
+
+// Multi-seed runs: the headline comparison must be stable across
+// seeds — Counter-light's advantage over counterless is not a
+// single-seed artifact.
+func TestRunSeedsStability(t *testing.T) {
+	w, ok := trace.ByName("mcf")
+	if !ok {
+		t.Fatal("mcf missing")
+	}
+	cfg := fastCfg(CounterLight)
+	cl, err := RunSeeds(cfg, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.PerSeed) != 3 || len(cl.Seeds) != 3 {
+		t.Fatalf("per-seed results: %+v", cl)
+	}
+	cfg.Scheme = Counterless
+	cls, err := RunSeeds(cfg, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Mean <= cls.Mean {
+		t.Errorf("counter-light mean %.3f not above counterless %.3f", cl.Mean, cls.Mean)
+	}
+	// Seed-to-seed noise must be small relative to the effect.
+	if cl.StdDev > 0.05 {
+		t.Errorf("counter-light seed noise %.4f too large", cl.StdDev)
+	}
+	if cl.Min <= cls.Max {
+		t.Logf("distributions overlap: cl=[%.3f,%.3f] cls=[%.3f,%.3f]",
+			cl.Min, cl.Max, cls.Min, cls.Max)
+	}
+	// Distinct seeds must actually perturb the run.
+	if cl.PerSeed[0] == cl.PerSeed[1] && cl.PerSeed[1] == cl.PerSeed[2] &&
+		cl.Max-cl.Min == 0 && cl.StdDev == 0 {
+		t.Log("warning: seeds produced identical results (deterministic workload?)")
+	}
+}
+
+func TestRunSeedsDefaults(t *testing.T) {
+	w, _ := trace.ByName("mcf")
+	cfg := fastCfg(NoEnc)
+	cfg.Seed = 0
+	s, err := RunSeeds(cfg, w, 0) // n<1 coerces to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.PerSeed) != 1 || s.Seeds[0] != 1 {
+		t.Errorf("defaults: %+v", s)
+	}
+	if s.StdDev != 0 {
+		t.Errorf("single seed stddev = %v", s.StdDev)
+	}
+}

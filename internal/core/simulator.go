@@ -1,0 +1,652 @@
+package core
+
+import (
+	"fmt"
+
+	"counterlight/internal/cache"
+	"counterlight/internal/crypto/mix"
+	"counterlight/internal/ctrblock"
+	"counterlight/internal/dram"
+	"counterlight/internal/energy"
+	"counterlight/internal/epoch"
+	"counterlight/internal/memoize"
+	"counterlight/internal/sim"
+	"counterlight/internal/stats"
+	"counterlight/internal/trace"
+)
+
+// Result is the measurement of one simulated window.
+type Result struct {
+	Scheme   Scheme
+	Workload string
+
+	WindowPS     int64
+	Instructions uint64
+	IPC          float64 // per core at 3.2 GHz
+
+	LLCMisses     uint64
+	LLCWritebacks uint64
+	AvgMissLatNS  float64 // demand LLC miss latency, MC arrival -> data usable
+
+	DRAM           dram.Stats
+	BusUtilization float64
+	EnergyPJ       float64
+	EnergyPerInst  float64
+
+	MemoHitRate float64
+
+	// Counter-arrival distribution for counter-fetching schemes
+	// (Fig. 8): counter-known time minus data-arrival time, one sample
+	// per demand LLC miss. Bin edges in ns: <=0, (0,5], (5,10], >10.
+	CounterLateHist *stats.Histogram
+	CounterLateFrac float64 // fraction of misses where the counter arrived after the data
+
+	// Writeback mode mix (Fig. 21), Counter-light only.
+	WBCounterless uint64
+	WBTotal       uint64
+
+	// EpochHistory is the closed-epoch timeline from the bandwidth
+	// monitor (whole run including warmup): per-epoch utilization and
+	// writeback-mode decisions.
+	EpochHistory []epoch.Record
+}
+
+// CounterlessWBFraction returns the share of writebacks that used
+// counterless mode.
+func (r Result) CounterlessWBFraction() float64 {
+	if r.WBTotal == 0 {
+		return 0
+	}
+	return float64(r.WBCounterless) / float64(r.WBTotal)
+}
+
+// PerfNormalizedTo divides this run's instruction throughput by a
+// baseline run's — the paper's "performance normalized to X".
+func (r Result) PerfNormalizedTo(base Result) float64 {
+	if base.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(base.Instructions)
+}
+
+// coreState is one simulated core's architectural state.
+type coreState struct {
+	stream       trace.Stream
+	time         int64
+	outstanding  []int64 // completion times of in-flight loads
+	lastLoadDone int64
+	done         bool
+}
+
+// event is one schedulable action. Everything that touches DRAM runs
+// through the time-ordered queue so state mutations happen in (near)
+// timestamp order: the FCFS bus and bank model would otherwise charge
+// earlier requests for later-issued traffic that happened to be
+// processed first.
+type event struct {
+	kind  int    // see evKind constants
+	core  int    // evCore only
+	addr  uint64 // data address (or write address for evDRAMWrite)
+	level int    // evTreeWalk: next tree level to touch
+	dirty bool   // evTreeWalk: writeback walk (dirty) vs read verify
+}
+
+const (
+	evCore      = iota // a core issues its next op
+	evWriteback        // an LLC writeback arrives at the MC
+	evCounter          // counter-block update for a writeback
+	evTreeWalk         // one integrity-tree level of a walk
+	evDRAMWrite        // a posted DRAM write (dirty metadata eviction)
+)
+
+// simulator wires the hierarchy together for one run.
+type simulator struct {
+	cfg    Config
+	q      sim.Queue[event]
+	cores  []coreState
+	l1, l2 []*cache.Cache
+	pf     []cache.Prefetcher
+	l3     *cache.Cache
+	ctrC   *cache.Cache
+	dram   *dram.Channel
+	mon    *epoch.Monitor
+	memo   *memoize.Table
+	layout *ctrblock.Store // address geometry for counter/tree blocks
+
+	// blockMeta holds each data block's EncryptionMetadata value:
+	// its current counter, or metaFlag for counterless blocks.
+	blockMeta map[uint64]uint32
+
+	measuring bool
+	instr     uint64
+	missLat   stats.Accumulator
+	ctrHist   *stats.Histogram
+	llcMiss   uint64
+	llcWB     uint64
+	wbCls     uint64
+	wbTotal   uint64
+	memoHitsW uint64 // window-scoped memo lookups on the read path
+	memoRefsW uint64
+}
+
+const metaFlag = uint32(ctrblock.CounterlessFlag)
+
+// Run simulates the workload under the configuration and returns the
+// measurement-window results.
+func Run(cfg Config, w trace.Workload) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	s := &simulator{cfg: cfg, blockMeta: make(map[uint64]uint32)}
+
+	var err error
+	if s.l3, err = cache.New(cfg.L3Size, cfg.BlockSize, cfg.L3Ways); err != nil {
+		return Result{}, err
+	}
+	if s.ctrC, err = cache.New(cfg.CounterCacheSize, cfg.BlockSize, cfg.CounterCacheWays); err != nil {
+		return Result{}, err
+	}
+	dcfg := dram.DefaultConfig(cfg.BandwidthGBs)
+	if cfg.RefreshEnabled {
+		dcfg.TREFI = 3_900_000 // 3.9 µs
+		dcfg.TRFC = 350_000    // 350 ns
+	}
+	if s.dram, err = dram.New(dcfg); err != nil {
+		return Result{}, err
+	}
+	if s.mon, err = epoch.NewMonitor(cfg.EpochLen, s.dram.BurstTime(), cfg.Threshold); err != nil {
+		return Result{}, err
+	}
+	if s.layout, err = ctrblock.New(cfg.MemorySize, cfg.BlockSize); err != nil {
+		return Result{}, err
+	}
+	// The timing model does not need real AES results; a cheap mixer
+	// keeps the table's values distinct.
+	s.memo = memoize.New(cfg.MemoEntries, 0, func(c uint64) mix.Word {
+		return mix.Word{Hi: c * 0x9e3779b97f4a7c15, Lo: ^c}
+	})
+	s.ctrHist, err = stats.NewHistogram(0, 5*ns, 10*ns)
+	if err != nil {
+		return Result{}, err
+	}
+
+	streams := w.NewStreams(cfg.Seed, cfg.Cores)
+	s.cores = make([]coreState, cfg.Cores)
+	s.l1 = make([]*cache.Cache, cfg.Cores)
+	s.l2 = make([]*cache.Cache, cfg.Cores)
+	s.pf = make([]cache.Prefetcher, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		s.cores[c].stream = streams[c]
+		if s.l1[c], err = cache.New(cfg.L1Size, cfg.BlockSize, cfg.L1Ways); err != nil {
+			return Result{}, err
+		}
+		if s.l2[c], err = cache.New(cfg.L2Size, cfg.BlockSize, cfg.L2Ways); err != nil {
+			return Result{}, err
+		}
+		s.pf[c] = &cache.Composite{Prefetchers: []cache.Prefetcher{
+			cache.NewNextLine(cfg.BlockSize, 2),
+			cache.NewStride(cfg.BlockSize, 2),
+		}}
+	}
+
+	warmupEnd := cfg.WarmupTime
+	end := cfg.WarmupTime + cfg.WindowTime
+
+	for c := range s.cores {
+		s.q.Push(0, event{kind: evCore, core: c})
+	}
+	for {
+		t, e, ok := s.q.Pop()
+		if !ok {
+			break
+		}
+		if !s.measuring && t >= warmupEnd {
+			s.startWindow()
+		}
+		switch e.kind {
+		case evCore:
+			if t >= end {
+				s.cores[e.core].done = true
+				continue
+			}
+			next := s.step(e.core)
+			s.q.Push(next, event{kind: evCore, core: e.core})
+		case evWriteback:
+			// Posted traffic drains even past the window end so queued
+			// work settles deterministically.
+			s.mcWrite(e.addr, t)
+		case evCounter:
+			s.counterUpdate(e.addr, t)
+		case evTreeWalk:
+			s.treeWalkStep(e.addr, e.level, e.dirty, t)
+		case evDRAMWrite:
+			s.mon.Record(t)
+			s.dram.Access(e.addr, t, true)
+		}
+	}
+
+	return s.result(w.Name), nil
+}
+
+// startWindow resets all window-scoped statistics at the end of warmup.
+func (s *simulator) startWindow() {
+	s.measuring = true
+	s.dram.ResetStats()
+	s.memo.ResetStats()
+	s.instr = 0
+	s.missLat = stats.Accumulator{}
+	s.llcMiss, s.llcWB = 0, 0
+	s.wbCls, s.wbTotal = 0, 0
+	s.memoHitsW, s.memoRefsW = 0, 0
+}
+
+// step executes one op on core c and returns the core's next-ready time.
+func (s *simulator) step(c int) int64 {
+	core := &s.cores[c]
+	op := core.stream.Next(core.time)
+	t := core.time + op.Think
+	if op.Dependent && core.lastLoadDone > t {
+		t = core.lastLoadDone
+	}
+	// Retire completed loads; block when the MLP window is full.
+	s.retire(core, t)
+	if len(core.outstanding) >= s.cfg.MLP {
+		earliest := core.outstanding[0]
+		for _, v := range core.outstanding {
+			if v < earliest {
+				earliest = v
+			}
+		}
+		if earliest > t {
+			t = earliest
+		}
+		s.retire(core, t)
+	}
+
+	done := s.access(c, op.Addr, op.Write, op.PC, t)
+	if !op.Write {
+		core.outstanding = append(core.outstanding, done)
+		core.lastLoadDone = done
+	}
+	if s.measuring {
+		s.instr += op.Instr
+	}
+	// One issue slot per op (3.2 GHz cycle).
+	core.time = t + 312
+	return core.time
+}
+
+func (s *simulator) retire(core *coreState, now int64) {
+	kept := core.outstanding[:0]
+	for _, v := range core.outstanding {
+		if v > now {
+			kept = append(kept, v)
+		}
+	}
+	core.outstanding = kept
+}
+
+// access walks the cache hierarchy and returns when the data is usable.
+func (s *simulator) access(c int, addr uint64, write bool, pc uint64, t int64) int64 {
+	cfg := &s.cfg
+	addr -= addr % cfg.BlockSize
+
+	// L1.
+	t1 := t + cfg.L1Lat
+	if write {
+		if hit, ready := s.l1[c].Write(addr, t1); hit {
+			return ready
+		}
+	} else if hit, ready := s.l1[c].Lookup(addr, t1); hit {
+		return ready
+	}
+
+	// L1 miss: train prefetchers on the demand stream.
+	if cfg.PrefetchEnabled {
+		for _, pa := range s.pf[c].Observe(addr, pc) {
+			s.prefetch(c, pa, t1)
+		}
+	}
+
+	// L2.
+	t2 := t1 + cfg.L2Lat
+	if hit, ready := s.l2[c].Lookup(addr, t2); hit {
+		s.fillL1(c, addr, ready, write)
+		return ready
+	}
+
+	// L3.
+	t3 := t2 + cfg.L3Lat
+	if hit, ready := s.l3.Lookup(addr, t3); hit {
+		s.fillL2(c, addr, ready)
+		s.fillL1(c, addr, ready, write)
+		return ready
+	}
+
+	// Demand LLC miss -> memory controller.
+	ready := s.mcRead(addr, t3, true)
+	s.fillL3(addr, ready)
+	s.fillL2(c, addr, ready)
+	s.fillL1(c, addr, ready, write)
+	return ready
+}
+
+// prefetch issues a non-blocking fill into L2/L3 if absent everywhere.
+func (s *simulator) prefetch(c int, addr uint64, t int64) {
+	addr -= addr % s.cfg.BlockSize
+	if s.l2[c].Contains(addr) || s.l3.Contains(addr) {
+		return
+	}
+	ready := s.mcRead(addr, t+s.cfg.L2Lat, false)
+	s.fillL3(addr, ready)
+	s.fillL2(c, addr, ready)
+}
+
+func (s *simulator) fillL1(c int, addr uint64, ready int64, dirty bool) {
+	if ev, ok := s.l1[c].Insert(addr, ready, dirty); ok && ev.Dirty {
+		// Dirty L1 victim moves to L2 (mark or allocate dirty there).
+		s.l2[c].Insert(ev.Addr, ready, true)
+	}
+}
+
+func (s *simulator) fillL2(c int, addr uint64, ready int64) {
+	if ev, ok := s.l2[c].Insert(addr, ready, false); ok && ev.Dirty {
+		s.l3.Insert(ev.Addr, ready, true)
+	}
+}
+
+func (s *simulator) fillL3(addr uint64, ready int64) {
+	if ev, ok := s.l3.Insert(addr, ready, false); ok && ev.Dirty {
+		// Post the writeback; it reaches the MC at the fill time and
+		// is processed in global time order.
+		s.q.Push(ready, event{kind: 1, addr: ev.Addr})
+	}
+}
+
+// mcRead is the memory controller's LLC-read-miss path: DRAM access
+// plus the scheme's decryption timing (Figs. 7 and 13).
+func (s *simulator) mcRead(addr uint64, tm int64, demand bool) int64 {
+	cfg := &s.cfg
+	s.mon.Record(tm)
+	dataDone := s.dram.Access(addr, tm, false)
+
+	var ready int64
+	switch cfg.Scheme {
+	case NoEnc:
+		ready = dataDone + cfg.ECCCheckLat
+
+	case Counterless:
+		// The data-dependent AES starts only after the data arrives.
+		ready = dataDone + cfg.AESLat
+
+	case CounterMode, CounterModeSingle:
+		blk := addr / cfg.BlockSize
+		ctr := s.blockMeta[blk]
+		cbAddr := s.layout.CounterBlockAddr(addr)
+		ccDone := tm + cfg.CounterCacheLat
+		var ctrKnown int64
+		if hit, ready := s.ctrC.Lookup(cbAddr, ccDone); hit {
+			ctrKnown = ready
+		} else {
+			// The counter fetch starts only after the counter cache
+			// reports the miss (§IV-A), and can finish after the data.
+			s.mon.Record(ccDone)
+			ctrKnown = s.dram.Access(cbAddr, ccDone, false)
+			if ev, ok := s.ctrC.Insert(cbAddr, ctrKnown, false); ok && ev.Dirty {
+				s.q.Push(ctrKnown, event{kind: evDRAMWrite, addr: ev.Addr})
+			}
+			if cfg.Scheme == CounterMode {
+				// Verify the counter through the tree: fetch nodes
+				// until one hits in the counter cache. Bandwidth cost;
+				// verification is off the use-latency path.
+				s.q.Push(ctrKnown, event{kind: evTreeWalk, addr: addr, level: 0})
+			}
+		}
+		otpReady := ctrKnown + s.otpLatency(ctr)
+		ready = maxInt64(dataDone, otpReady)
+		if demand && s.measuring {
+			s.ctrHist.Add(ctrKnown - dataDone)
+		}
+
+	case CounterLight:
+		// The counter (or flag) decodes from the ECC parity, which is
+		// available MetaDecodeLead before the full block (§IV-D).
+		blk := addr / cfg.BlockSize
+		meta := s.blockMeta[blk]
+		decodeAt := dataDone - cfg.MetaDecodeLead
+		if meta == metaFlag {
+			ready = dataDone + cfg.AESLat // counterless block
+		} else {
+			otpReady := decodeAt + s.otpLatencyCL(meta)
+			ready = maxInt64(dataDone, otpReady)
+		}
+	}
+
+	if demand && s.measuring {
+		s.llcMiss++
+		s.missLat.Add(ready - tm)
+	}
+	return ready
+}
+
+// otpLatency charges the memoization table (hit: MemoLat) or a full
+// AES recomputation, counting window statistics.
+func (s *simulator) otpLatency(ctr uint32) int64 {
+	if !s.cfg.MemoizeEnabled {
+		return s.cfg.AESLat
+	}
+	_, hit := s.memo.Lookup(ctr)
+	if s.measuring {
+		s.memoRefsW++
+		if hit {
+			s.memoHitsW++
+		}
+	}
+	if hit {
+		return s.cfg.MemoLat
+	}
+	return s.cfg.AESLat
+}
+
+// otpLatencyCL is the Counter-light variant: a memo hit yields the
+// 2 ns decode-to-OTP path of §IV-D.
+func (s *simulator) otpLatencyCL(ctr uint32) int64 {
+	if !s.cfg.MemoizeEnabled {
+		return s.cfg.AESLat
+	}
+	_, hit := s.memo.Lookup(ctr)
+	if s.measuring {
+		s.memoRefsW++
+		if hit {
+			s.memoHitsW++
+		}
+	}
+	if hit {
+		return s.cfg.OTPAfterDecode
+	}
+	return s.cfg.AESLat
+}
+
+// treeWalkStep fetches one integrity-tree level of a walk, scheduling
+// the next level after the fetch completes. The walk stops at the
+// first counter-cache hit (that level and everything above it was
+// verified when it was brought in).
+func (s *simulator) treeWalkStep(addr uint64, level int, dirty bool, t int64) {
+	nodes := s.layout.TreeNodeAddrs(addr)
+	if level >= len(nodes) {
+		return
+	}
+	na := nodes[level]
+	if hit, _ := s.ctrC.Lookup(na, t); hit {
+		if dirty {
+			s.ctrC.Write(na, t)
+		}
+		return
+	}
+	s.mon.Record(t)
+	done := s.dram.Access(na, t, false)
+	if ev, ok := s.ctrC.Insert(na, done, dirty); ok && ev.Dirty {
+		s.q.Push(done, event{kind: evDRAMWrite, addr: ev.Addr})
+	}
+	s.q.Push(done, event{kind: evTreeWalk, addr: addr, level: level + 1, dirty: dirty})
+}
+
+// mcWrite is the LLC-writeback path (posted: consumes bandwidth, never
+// stalls the core).
+func (s *simulator) mcWrite(addr uint64, tw int64) {
+	cfg := &s.cfg
+	s.mon.Record(tw)
+	s.dram.Access(addr, tw, true)
+	if s.measuring {
+		s.llcWB++
+	}
+	blk := addr / cfg.BlockSize
+
+	switch cfg.Scheme {
+	case NoEnc, Counterless:
+		return
+
+	case CounterModeSingle:
+		// Fig. 9's diagnostic drops all writeback counter traffic but
+		// keeps counters advancing logically.
+		s.bumpCounter(blk)
+		return
+
+	case CounterMode:
+		s.q.Push(tw+cfg.CounterCacheLat, event{kind: evCounter, addr: addr})
+		if s.measuring {
+			s.wbTotal++
+		}
+		return
+
+	case CounterLight:
+		mode := epoch.CounterMode
+		if cfg.DynamicSwitch {
+			mode = s.mon.WritebackMode(tw)
+		}
+		if s.measuring {
+			s.wbTotal++
+		}
+		if mode == epoch.Counterless {
+			s.blockMeta[blk] = metaFlag
+			if s.measuring {
+				s.wbCls++
+			}
+			return
+		}
+		// A block that went counterless re-enters counter mode on its
+		// next counter-mode writeback (the counter keeps its old value
+		// in the counter block and advances past it).
+		s.q.Push(tw+cfg.CounterCacheLat, event{kind: evCounter, addr: addr})
+	}
+}
+
+// counterUpdate is the counter-block half of a counter-mode writeback:
+// hit or fetch the counter block, dirty it, advance the counter, and
+// kick off the tree walk.
+func (s *simulator) counterUpdate(addr uint64, t int64) {
+	blk := addr / s.cfg.BlockSize
+	cbAddr := s.layout.CounterBlockAddr(addr)
+	if hit, _ := s.ctrC.Lookup(cbAddr, t); hit {
+		s.ctrC.Write(cbAddr, t)
+		s.bumpCounter(blk)
+		s.q.Push(t, event{kind: evTreeWalk, addr: addr, level: 0, dirty: true})
+		return
+	}
+	s.mon.Record(t)
+	done := s.dram.Access(cbAddr, t, false)
+	if ev, ok := s.ctrC.Insert(cbAddr, done, true); ok && ev.Dirty {
+		s.q.Push(done, event{kind: evDRAMWrite, addr: ev.Addr})
+	}
+	s.bumpCounter(blk)
+	s.q.Push(done, event{kind: evTreeWalk, addr: addr, level: 0, dirty: true})
+}
+
+// bumpCounter advances a block's counter with the memoization-friendly
+// policy (or a plain increment when memoization is disabled).
+func (s *simulator) bumpCounter(blk uint64) {
+	old := s.blockMeta[blk]
+	if old == metaFlag {
+		old = 0 // re-entering counter mode; real HW reads the counter block
+	}
+	if s.cfg.MemoizeEnabled {
+		s.blockMeta[blk] = s.memo.NextWriteCounter(old)
+	} else {
+		s.blockMeta[blk] = old + 1
+	}
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// result assembles the window measurement.
+func (s *simulator) result(workload string) Result {
+	cfg := &s.cfg
+	d := s.dram.Stats()
+	meter, _ := energy.NewMeter(energy.DefaultParams())
+	for i := uint64(0); i < d.RowMisses+d.RowConflicts; i++ {
+		meter.AddActivate()
+	}
+	for i := uint64(0); i < d.Reads; i++ {
+		meter.AddRead()
+	}
+	for i := uint64(0); i < d.Writes; i++ {
+		meter.AddWrite()
+	}
+	totalPJ := meter.TotalPJ(cfg.WindowTime)
+
+	r := Result{
+		Scheme:          cfg.Scheme,
+		Workload:        workload,
+		WindowPS:        cfg.WindowTime,
+		Instructions:    s.instr,
+		IPC:             float64(s.instr) / float64(cfg.Cores) / (float64(cfg.WindowTime) / 312.0),
+		LLCMisses:       s.llcMiss,
+		LLCWritebacks:   s.llcWB,
+		AvgMissLatNS:    s.missLat.Mean() / 1000.0,
+		DRAM:            d,
+		BusUtilization:  float64(d.BusBusyPS) / float64(cfg.WindowTime),
+		EnergyPJ:        totalPJ,
+		CounterLateHist: s.ctrHist,
+		WBCounterless:   s.wbCls,
+		WBTotal:         s.wbTotal,
+	}
+	if s.instr > 0 {
+		r.EnergyPerInst = totalPJ / float64(s.instr)
+	}
+	if s.memoRefsW > 0 {
+		r.MemoHitRate = float64(s.memoHitsW) / float64(s.memoRefsW)
+	}
+	if s.ctrHist.Total() > 0 {
+		r.CounterLateFrac = s.ctrHist.FractionAbove(0)
+	}
+	if r.BusUtilization > 1 {
+		r.BusUtilization = 1
+	}
+	r.EpochHistory = s.mon.History()
+	return r
+}
+
+// RunPair is a convenience for normalized results: it runs the scheme
+// and the NoEnc baseline on the same workload and seed.
+func RunPair(cfg Config, w trace.Workload) (scheme, baseline Result, err error) {
+	scheme, err = Run(cfg, w)
+	if err != nil {
+		return
+	}
+	base := cfg
+	base.Scheme = NoEnc
+	baseline, err = Run(base, w)
+	return
+}
+
+// String summarizes a result for logs.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s: instr=%d ipc=%.3f llcMiss=%d wb=%d missLat=%.1fns util=%.2f",
+		r.Workload, r.Scheme, r.Instructions, r.IPC, r.LLCMisses, r.LLCWritebacks,
+		r.AvgMissLatNS, r.BusUtilization)
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"counterlight/internal/cipher"
+	"counterlight/internal/epoch"
+)
+
+func newSystem(t *testing.T, opts SystemOptions) *System {
+	t.Helper()
+	s, err := NewSystem(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSystemDefaults(t *testing.T) {
+	s := newSystem(t, SystemOptions{Engine: DefaultEngineOptions()})
+	if s.Monitor().MaxAccesses() != 40000 { // 100 µs / 2.5 ns
+		t.Errorf("default capacity = %d", s.Monitor().MaxAccesses())
+	}
+}
+
+// Quiet traffic: writebacks run in counter mode; reads round-trip.
+func TestSystemQuietUsesCounterMode(t *testing.T) {
+	s := newSystem(t, DefaultSystemOptions())
+	rng := rand.New(rand.NewSource(900))
+	now := int64(0)
+	for i := 0; i < 50; i++ {
+		var plain cipher.Block
+		rng.Read(plain[:])
+		addr := uint64(i) * 64
+		mode, err := s.WriteAt(now, addr, plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode != epoch.CounterMode {
+			t.Fatalf("quiet write %d used %v", i, mode)
+		}
+		got, _, err := s.ReadAt(now, addr)
+		if err != nil || got != plain {
+			t.Fatalf("read %d failed: %v", i, err)
+		}
+		now += 1_000_000 // 1 µs apart: far below the threshold
+	}
+}
+
+// Saturating traffic crosses the threshold; subsequent writebacks flip
+// to counterless mode, then recover after a quiet epoch.
+func TestSystemSwitchesUnderLoad(t *testing.T) {
+	opts := DefaultSystemOptions()
+	s := newSystem(t, opts)
+	var plain cipher.Block
+
+	// Seed one block, then flood the first epoch past the threshold.
+	if err := s.Engine.Write(0, plain, epoch.CounterMode); err != nil {
+		t.Fatal(err)
+	}
+	thr := int64(s.Monitor().Threshold())
+	for i := int64(0); i < thr+10; i++ {
+		if _, _, err := s.ReadAt(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mode, err := s.WriteAt(thr+11, 64, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != epoch.Counterless {
+		t.Fatalf("writeback under load used %v", mode)
+	}
+	// Two quiet epochs later, counter mode returns.
+	later := 3 * opts.EpochLen
+	mode, err = s.WriteAt(later, 128, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != epoch.CounterMode {
+		t.Fatalf("writeback after recovery used %v", mode)
+	}
+	// The block written counterless reads back fine either way.
+	got, info, err := s.ReadAt(later+1, 64)
+	if err != nil || got != plain {
+		t.Fatal("counterless block unreadable")
+	}
+	if info.Mode != epoch.Counterless {
+		t.Errorf("block mode = %v", info.Mode)
+	}
+}
+
+// The System's mode decisions must be recorded per block: mixed-mode
+// histories stay consistent.
+func TestSystemMixedHistory(t *testing.T) {
+	s := newSystem(t, DefaultSystemOptions())
+	rng := rand.New(rand.NewSource(901))
+	shadow := map[uint64]cipher.Block{}
+	now := int64(0)
+	for i := 0; i < 200; i++ {
+		addr := uint64(rng.Intn(64)) * 64
+		var plain cipher.Block
+		rng.Read(plain[:])
+		if _, err := s.WriteAt(now, addr, plain); err != nil {
+			t.Fatal(err)
+		}
+		shadow[addr] = plain
+		// Occasionally flood to force counterless epochs.
+		if i%50 == 25 {
+			for j := 0; j < int(s.Monitor().Threshold())+1; j++ {
+				s.Monitor().Record(now)
+			}
+		}
+		now += 2_000_000
+	}
+	for addr, want := range shadow {
+		got, _, err := s.ReadAt(now, addr)
+		if err != nil || got != want {
+			t.Fatalf("block %#x lost after mixed-mode history: %v", addr, err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package aes
+
+// T-table implementation: the classic software AES that folds
+// SubBytes, ShiftRows, and MixColumns of one round into four table
+// lookups and three XORs per column. Encrypt/Decrypt dispatch to this
+// path; the textbook transformations in aes.go remain as the reference
+// implementation, and the equivalence test keeps them in lockstep.
+
+var (
+	te0, te1, te2, te3 [256]uint32 // encryption tables
+	td0, td1, td2, td3 [256]uint32 // decryption tables
+)
+
+func init() {
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := mulGF(s, 2)
+		s3 := s2 ^ s
+		w := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te0[i] = w
+		te1[i] = w>>8 | w<<24
+		te2[i] = w>>16 | w<<16
+		te3[i] = w>>24 | w<<8
+
+		q := invSbox[i]
+		w = uint32(mulGF(q, 14))<<24 | uint32(mulGF(q, 9))<<16 |
+			uint32(mulGF(q, 13))<<8 | uint32(mulGF(q, 11))
+		td0[i] = w
+		td1[i] = w>>8 | w<<24
+		td2[i] = w>>16 | w<<16
+		td3[i] = w>>24 | w<<8
+	}
+}
+
+// invMixWord applies InvMixColumns to one big-endian column word,
+// used to derive the equivalent-inverse-cipher key schedule.
+func invMixWord(w uint32) uint32 {
+	b0, b1, b2, b3 := byte(w>>24), byte(w>>16), byte(w>>8), byte(w)
+	return uint32(mulGF(b0, 14)^mulGF(b1, 11)^mulGF(b2, 13)^mulGF(b3, 9))<<24 |
+		uint32(mulGF(b0, 9)^mulGF(b1, 14)^mulGF(b2, 11)^mulGF(b3, 13))<<16 |
+		uint32(mulGF(b0, 13)^mulGF(b1, 9)^mulGF(b2, 14)^mulGF(b3, 11))<<8 |
+		uint32(mulGF(b0, 11)^mulGF(b1, 13)^mulGF(b2, 9)^mulGF(b3, 14))
+}
+
+// expandDec derives the equivalent-inverse-cipher round keys: the
+// encryption schedule reversed, with InvMixColumns applied to every
+// round key except the first and last.
+func (c *Cipher) expandDec() {
+	n := 4 * (c.rounds + 1)
+	d := make([]uint32, n)
+	for r := 0; r <= c.rounds; r++ {
+		for j := 0; j < 4; j++ {
+			w := c.enc[4*(c.rounds-r)+j]
+			if r != 0 && r != c.rounds {
+				w = invMixWord(w)
+			}
+			d[4*r+j] = w
+		}
+	}
+	c.dec = d
+}
+
+// encryptFast is the T-table cipher over big-endian column words.
+func (c *Cipher) encryptFast(dst, src []byte) {
+	rk := c.enc
+	s0 := be32(src[0:]) ^ rk[0]
+	s1 := be32(src[4:]) ^ rk[1]
+	s2 := be32(src[8:]) ^ rk[2]
+	s3 := be32(src[12:]) ^ rk[3]
+
+	k := 4
+	for r := 1; r < c.rounds; r++ {
+		t0 := te0[s0>>24] ^ te1[s1>>16&0xff] ^ te2[s2>>8&0xff] ^ te3[s3&0xff] ^ rk[k]
+		t1 := te0[s1>>24] ^ te1[s2>>16&0xff] ^ te2[s3>>8&0xff] ^ te3[s0&0xff] ^ rk[k+1]
+		t2 := te0[s2>>24] ^ te1[s3>>16&0xff] ^ te2[s0>>8&0xff] ^ te3[s1&0xff] ^ rk[k+2]
+		t3 := te0[s3>>24] ^ te1[s0>>16&0xff] ^ te2[s1>>8&0xff] ^ te3[s2&0xff] ^ rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: SubBytes + ShiftRows only.
+	o0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xff])<<16 | uint32(sbox[s2>>8&0xff])<<8 | uint32(sbox[s3&0xff])
+	o1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xff])<<16 | uint32(sbox[s3>>8&0xff])<<8 | uint32(sbox[s0&0xff])
+	o2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xff])<<16 | uint32(sbox[s0>>8&0xff])<<8 | uint32(sbox[s1&0xff])
+	o3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xff])<<16 | uint32(sbox[s1>>8&0xff])<<8 | uint32(sbox[s2&0xff])
+	putBE32(dst[0:], o0^rk[k])
+	putBE32(dst[4:], o1^rk[k+1])
+	putBE32(dst[8:], o2^rk[k+2])
+	putBE32(dst[12:], o3^rk[k+3])
+}
+
+// decryptFast is the T-table equivalent inverse cipher.
+func (c *Cipher) decryptFast(dst, src []byte) {
+	rk := c.dec
+	s0 := be32(src[0:]) ^ rk[0]
+	s1 := be32(src[4:]) ^ rk[1]
+	s2 := be32(src[8:]) ^ rk[2]
+	s3 := be32(src[12:]) ^ rk[3]
+
+	k := 4
+	for r := 1; r < c.rounds; r++ {
+		t0 := td0[s0>>24] ^ td1[s3>>16&0xff] ^ td2[s2>>8&0xff] ^ td3[s1&0xff] ^ rk[k]
+		t1 := td0[s1>>24] ^ td1[s0>>16&0xff] ^ td2[s3>>8&0xff] ^ td3[s2&0xff] ^ rk[k+1]
+		t2 := td0[s2>>24] ^ td1[s1>>16&0xff] ^ td2[s0>>8&0xff] ^ td3[s3&0xff] ^ rk[k+2]
+		t3 := td0[s3>>24] ^ td1[s2>>16&0xff] ^ td2[s1>>8&0xff] ^ td3[s0&0xff] ^ rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	o0 := uint32(invSbox[s0>>24])<<24 | uint32(invSbox[s3>>16&0xff])<<16 | uint32(invSbox[s2>>8&0xff])<<8 | uint32(invSbox[s1&0xff])
+	o1 := uint32(invSbox[s1>>24])<<24 | uint32(invSbox[s0>>16&0xff])<<16 | uint32(invSbox[s3>>8&0xff])<<8 | uint32(invSbox[s2&0xff])
+	o2 := uint32(invSbox[s2>>24])<<24 | uint32(invSbox[s1>>16&0xff])<<16 | uint32(invSbox[s0>>8&0xff])<<8 | uint32(invSbox[s3&0xff])
+	o3 := uint32(invSbox[s3>>24])<<24 | uint32(invSbox[s2>>16&0xff])<<16 | uint32(invSbox[s1>>8&0xff])<<8 | uint32(invSbox[s0&0xff])
+	putBE32(dst[0:], o0^rk[k])
+	putBE32(dst[4:], o1^rk[k+1])
+	putBE32(dst[8:], o2^rk[k+2])
+	putBE32(dst[12:], o3^rk[k+3])
+}
+
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func putBE32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}

@@ -1,0 +1,190 @@
+package keccak
+
+import (
+	"bytes"
+	stdsha3 "crypto/sha3"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fromHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// NIST FIPS-202 known-answer tests.
+func TestSHA3KnownAnswers(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+		f    func([]byte) []byte
+	}{
+		{"256-empty", "",
+			"a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a",
+			func(b []byte) []byte { d := Sum256(b); return d[:] }},
+		{"256-abc", "abc",
+			"3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532",
+			func(b []byte) []byte { d := Sum256(b); return d[:] }},
+		{"512-empty", "",
+			"a69f73cca23a9ac5c8b567dc185a756e97c982164fe25859e0d1dcc1475c80a615b2123af1f5f94c11e3e9402c3ac558f500199d95b6d3e301758586281dcd26",
+			func(b []byte) []byte { d := Sum512(b); return d[:] }},
+		{"512-abc", "abc",
+			"b751850b1a57168a5693cd924b6b096e08f621827444f70d884f5d0240d2712e10e116e9192af3c91a7ec57647e3934057340b4cf408d5a56592f8274eec53f0",
+			func(b []byte) []byte { d := Sum512(b); return d[:] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.f([]byte(tc.in))
+			if want := fromHex(t, tc.want); !bytes.Equal(got, want) {
+				t.Errorf("got %x\nwant %x", got, want)
+			}
+		})
+	}
+}
+
+// Cross-check against the standard library for random inputs of many
+// lengths, including multi-block and rate-boundary sizes.
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lengths := []int{0, 1, 7, 8, 63, 64, 71, 72, 73, 135, 136, 137, 200, 271, 272, 273, 1000, 4096}
+	for _, n := range lengths {
+		data := make([]byte, n)
+		rng.Read(data)
+		got := Sum256(data)
+		want := stdsha3.Sum256(data)
+		if got != want {
+			t.Errorf("Sum256 len=%d mismatch", n)
+		}
+		got512 := Sum512(data)
+		want512 := stdsha3.Sum512(data)
+		if got512 != want512 {
+			t.Errorf("Sum512 len=%d mismatch", n)
+		}
+	}
+}
+
+// Incremental writes must equal a single write.
+func TestIncrementalWrite(t *testing.T) {
+	data := make([]byte, 1000)
+	rand.New(rand.NewSource(3)).Read(data)
+	h := New256()
+	for i := 0; i < len(data); i += 17 {
+		end := i + 17
+		if end > len(data) {
+			end = len(data)
+		}
+		h.Write(data[i:end])
+	}
+	var whole [32]byte
+	copy(whole[:], h.Sum(nil))
+	if whole != Sum256(data) {
+		t.Error("incremental write digest differs from one-shot")
+	}
+}
+
+// Sum must not consume state: calling Sum twice, or Sum then Write,
+// must behave like hash.Hash.
+func TestSumIsNonDestructive(t *testing.T) {
+	h := New256()
+	h.Write([]byte("hello"))
+	d1 := h.Sum(nil)
+	d2 := h.Sum(nil)
+	if !bytes.Equal(d1, d2) {
+		t.Error("two Sums differ")
+	}
+	h.Write([]byte(" world"))
+	d3 := h.Sum(nil)
+	want := Sum256([]byte("hello world"))
+	if !bytes.Equal(d3, want[:]) {
+		t.Error("Write after Sum gives wrong digest")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New512()
+	h.Write([]byte("garbage"))
+	h.Reset()
+	h.Write([]byte("abc"))
+	got := h.Sum(nil)
+	want := Sum512([]byte("abc"))
+	if !bytes.Equal(got, want[:]) {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	if New256().Size() != 32 || New256().BlockSize() != 136 {
+		t.Error("SHA3-256 sizes wrong")
+	}
+	if New512().Size() != 64 || New512().BlockSize() != 72 {
+		t.Error("SHA3-512 sizes wrong")
+	}
+}
+
+// Property: different inputs give different MAC64 values with a key
+// (collision would require a 64-bit hash collision in ~200 samples,
+// which is effectively impossible).
+func TestMAC64Distinct(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	seen := map[uint64][]byte{}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		msg := make([]byte, 64)
+		rng.Read(msg)
+		m := MAC64(key, msg)
+		if prev, ok := seen[m]; ok && !bytes.Equal(prev, msg) {
+			t.Fatalf("MAC64 collision between distinct messages")
+		}
+		seen[m] = msg
+	}
+}
+
+// MAC64 must depend on the key and on every data segment.
+func TestMAC64Inputs(t *testing.T) {
+	a := MAC64([]byte("key1"), []byte("data"))
+	if b := MAC64([]byte("key2"), []byte("data")); a == b {
+		t.Error("MAC64 ignores key")
+	}
+	if b := MAC64([]byte("key1"), []byte("datb")); a == b {
+		t.Error("MAC64 ignores data")
+	}
+	multi := MAC64([]byte("key1"), []byte("da"), []byte("ta"))
+	if multi != a {
+		t.Error("MAC64 segmentation should not matter")
+	}
+}
+
+// Property: the permutation is a bijection — applying it to two
+// different states never yields the same state (checked via quick by
+// injecting a difference into one lane).
+func TestPermuteInjective(t *testing.T) {
+	f := func(s State, lane uint8, delta uint64) bool {
+		if delta == 0 {
+			return true
+		}
+		s2 := s
+		x, y := int(lane)%5, int(lane/5)%5
+		s2[x][y] ^= delta
+		s.Permute()
+		s2.Permute()
+		return s != s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSum256_64B(b *testing.B) {
+	data := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}

@@ -1,0 +1,187 @@
+// Package ecc implements the Synergy chipkill-correct code (Saileshwar
+// et al., HPCA'18) and Counter-light's extension of it (paper §IV-C,
+// Figs. 3, 12, 14).
+//
+// A DDR5 rank has 8 data chips and 2 ECC chips; each 64-byte block
+// therefore carries 16 bytes of ECC storage. Synergy spends 8 bytes on
+// a MAC (which doubles as the error-detection code) and 8 bytes on a
+// parity word Parity = D1 ⊕ … ⊕ D8 ⊕ MAC used for correction-by-trial:
+// assume each chip in turn is faulty, reconstruct it from the parity,
+// and accept the unique reconstruction whose MAC verifies.
+//
+// Counter-light additionally XORs the block's EncryptionMetadata (the
+// 4-byte counter value, or the all-ones counterless flag) into the
+// parity. On a read the metadata is decoded as
+// Parity ⊕ D1 ⊕ … ⊕ D8 ⊕ MAC — a log2(9)-deep XOR tree — and verified
+// through the MAC, which also takes the metadata as input. During
+// error correction the metadata itself is suspect, so correction runs
+// under two hypotheses (Fig. 14): the counter value read from the
+// counter block, and the counterless flag.
+package ecc
+
+import (
+	"encoding/binary"
+
+	"counterlight/internal/cipher"
+)
+
+// Chips in a rank: 8 data + MAC + parity.
+const (
+	DataChips  = 8
+	MACChip    = 8
+	ParityChip = 9
+	TotalChips = 10
+)
+
+// CodeWord is the full content of one memory block across all ten
+// chips of the rank.
+type CodeWord struct {
+	Data   [DataChips]uint64 // D1..D8, chip i holds bytes 8i..8i+7 of the block
+	MAC    uint64
+	Parity uint64
+}
+
+// xorData folds the eight data words together.
+func (cw *CodeWord) xorData() uint64 {
+	var x uint64
+	for _, d := range cw.Data {
+		x ^= d
+	}
+	return x
+}
+
+// BlockToChips splits a 64-byte block into per-chip words.
+func BlockToChips(b cipher.Block) [DataChips]uint64 {
+	var d [DataChips]uint64
+	for i := range d {
+		d[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return d
+}
+
+// ChipsToBlock reassembles a 64-byte block from per-chip words.
+func ChipsToBlock(d [DataChips]uint64) cipher.Block {
+	var b cipher.Block
+	for i := range d {
+		binary.LittleEndian.PutUint64(b[8*i:], d[i])
+	}
+	return b
+}
+
+// Encode builds the codeword for a (ciphertext) block: the parity
+// covers the data chips, the MAC chip, and — unlike plain Synergy —
+// the EncryptionMetadata word (Fig. 12). meta is the 4-byte
+// EncryptionMetadata zero-extended to 8 bytes; the upper 4 bytes are
+// reserved for other ECC-encoded information (e.g. spatial-safety
+// locks, §IV-C) and stay zero here.
+func Encode(ct cipher.Block, mac uint64, meta uint64) CodeWord {
+	cw := CodeWord{Data: BlockToChips(ct), MAC: mac}
+	cw.Parity = meta ^ cw.xorData() ^ mac
+	return cw
+}
+
+// DecodeMeta recovers the EncryptionMetadata from a (presumed
+// error-free) codeword: Parity ⊕ D1 ⊕ … ⊕ D8 ⊕ MAC. In hardware this
+// is a 4-level XOR tree; the paper charges it at well under a DRAM
+// burst (§IV-D: the metadata is available 0.75 ns after the pad
+// computation begins because parity arrives with the first half of the
+// burst).
+func (cw *CodeWord) DecodeMeta() uint64 {
+	return cw.Parity ^ cw.xorData() ^ cw.MAC
+}
+
+// Block returns the data chips as a 64-byte block.
+func (cw *CodeWord) Block() cipher.Block { return ChipsToBlock(cw.Data) }
+
+// MACFunc recomputes the block's MAC for candidate data and metadata.
+// The function is mode-specific: SHA-3 in counterless mode, OTP ⊕
+// GF dot product in counter mode (Fig. 14's caption).
+type MACFunc func(ct cipher.Block, meta uint64) uint64
+
+// Hypothesis is one assumed EncryptionMetadata value with the MAC
+// construction that the corresponding mode would have used.
+type Hypothesis struct {
+	Name string  // for diagnostics, e.g. "counter" or "counterless"
+	Meta uint64  // assumed EncryptionMetadata value
+	MAC  MACFunc // MAC recomputation under this mode
+}
+
+// Candidate is one trial whose recomputed MAC matched.
+type Candidate struct {
+	Data       cipher.Block // candidate corrected ciphertext
+	Meta       uint64       // metadata under the candidate's hypothesis
+	Hypothesis int          // index into the hypotheses slice
+	BadChip    int          // 0..7 data, 8 MAC, 9 parity; -1 when block was clean
+}
+
+// Correction reports the outcome of trial-and-error correction.
+type Correction struct {
+	OK         bool        // exactly one trial matched
+	DUE        bool        // zero or multiple matches: detected uncorrectable
+	Candidate              // the winning candidate (valid when OK)
+	Candidates []Candidate // every matching trial; >1 means ambiguity (see §IV-E)
+}
+
+// Verify checks a codeword assuming no errors: decode the metadata,
+// recompute the MAC, compare. It returns the decoded metadata and
+// whether the MAC matched. This is the fault-free fast path of every
+// LLC read miss (Fig. 13).
+func Verify(cw CodeWord, mac MACFunc) (meta uint64, ok bool) {
+	meta = cw.DecodeMeta()
+	return meta, mac(cw.Block(), meta) == cw.MAC
+}
+
+// Correct runs Synergy's trial-and-error correction extended with
+// multiple EncryptionMetadata hypotheses (Fig. 14). For each
+// hypothesis it derives the original Synergy parity by cancelling the
+// assumed metadata out of the fetched parity, then runs the ten
+// trials: each data chip assumed bad, the MAC chip assumed bad, and
+// the parity chip assumed bad. Exactly one matching trial overall
+// corrects the block; zero or multiple matches is a DUE.
+//
+// Doubling the hypotheses doubles the number of trials, which is how
+// the paper arrives at the 2^-60 vs 2^-61 DUE comparison (§IV-E).
+func Correct(cw CodeWord, hyps []Hypothesis) Correction {
+	var cands []Candidate
+	record := func(c Candidate) { cands = append(cands, c) }
+	for hi, h := range hyps {
+		origParity := cw.Parity ^ h.Meta // cancel metadata out of the parity
+
+		// Trial: no chip bad / parity chip bad. Data and MAC are
+		// consistent on their own; metadata equals the hypothesis only
+		// if the parity decodes to it, otherwise the parity chip is
+		// the faulty one.
+		if h.MAC(cw.Block(), h.Meta) == cw.MAC {
+			bad := ParityChip
+			if cw.DecodeMeta() == h.Meta {
+				bad = -1 // clean block
+			}
+			record(Candidate{Data: cw.Block(), Meta: h.Meta, Hypothesis: hi, BadChip: bad})
+		}
+
+		// Trials: data chip i bad. Reconstruct D_i from the parity.
+		xorAll := cw.xorData()
+		for i := 0; i < DataChips; i++ {
+			rebuilt := origParity ^ (xorAll ^ cw.Data[i]) ^ cw.MAC
+			if rebuilt == cw.Data[i] {
+				continue // identical to the no-error trial; don't double count
+			}
+			cand := cw.Data
+			cand[i] = rebuilt
+			blk := ChipsToBlock(cand)
+			if h.MAC(blk, h.Meta) == cw.MAC {
+				record(Candidate{Data: blk, Meta: h.Meta, Hypothesis: hi, BadChip: i})
+			}
+		}
+
+		// Trial: MAC chip bad. Reconstruct the MAC from the parity.
+		rebuiltMAC := origParity ^ xorAll
+		if rebuiltMAC != cw.MAC && h.MAC(cw.Block(), h.Meta) == rebuiltMAC {
+			record(Candidate{Data: cw.Block(), Meta: h.Meta, Hypothesis: hi, BadChip: MACChip})
+		}
+	}
+	if len(cands) == 1 {
+		return Correction{OK: true, Candidate: cands[0], Candidates: cands}
+	}
+	return Correction{DUE: true, Candidates: cands}
+}

@@ -1,0 +1,282 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"counterlight/internal/cipher"
+	"counterlight/internal/crypto/keccak"
+)
+
+// Two toy MAC functions standing in for the two modes. They only need
+// to be strong enough that a wrong trial has negligible match chance.
+func macCounter(ct cipher.Block, meta uint64) uint64 {
+	return keccak.MAC64([]byte("ctr"), ct[:], u64(meta))
+}
+
+func macCounterless(ct cipher.Block, meta uint64) uint64 {
+	return keccak.MAC64([]byte("cls"), ct[:], u64(meta))
+}
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+func hyps(counterVal uint64) []Hypothesis {
+	const counterlessFlag = 0xFFFFFFFF
+	return []Hypothesis{
+		{Name: "counter", Meta: counterVal, MAC: macCounter},
+		{Name: "counterless", Meta: counterlessFlag, MAC: macCounterless},
+	}
+}
+
+func randBlock(rng *rand.Rand) cipher.Block {
+	var b cipher.Block
+	rng.Read(b[:])
+	return b
+}
+
+func TestChipsRoundTrip(t *testing.T) {
+	f := func(b cipher.Block) bool {
+		return ChipsToBlock(BlockToChips(b)) == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeMeta(t *testing.T) {
+	f := func(b cipher.Block, mac, meta uint64) bool {
+		cw := Encode(b, mac, meta)
+		return cw.DecodeMeta() == meta && cw.Block() == b && cw.MAC == mac
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyCleanBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	ct := randBlock(rng)
+	const meta = 12345
+	cw := Encode(ct, macCounter(ct, meta), meta)
+	gotMeta, ok := Verify(cw, macCounter)
+	if !ok || gotMeta != meta {
+		t.Errorf("Verify clean block: ok=%v meta=%d", ok, gotMeta)
+	}
+}
+
+func TestVerifyDetectsTamper(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ct := randBlock(rng)
+	cw := Encode(ct, macCounter(ct, 7), 7)
+	// Tamper with each chip in turn; Verify must fail for all.
+	for chip := 0; chip < TotalChips; chip++ {
+		bad := cw
+		switch {
+		case chip < DataChips:
+			bad.Data[chip] ^= 0xDEAD
+		case chip == MACChip:
+			bad.MAC ^= 0xDEAD
+		default:
+			bad.Parity ^= 0xDEAD
+		}
+		if _, ok := Verify(bad, macCounter); ok {
+			t.Errorf("Verify passed with chip %d corrupted", chip)
+		}
+	}
+}
+
+// corrupt flips deterministic bits in one chip of the codeword.
+func corrupt(cw CodeWord, chip int, pattern uint64) CodeWord {
+	switch {
+	case chip < DataChips:
+		cw.Data[chip] ^= pattern
+	case chip == MACChip:
+		cw.MAC ^= pattern
+	default:
+		cw.Parity ^= pattern
+	}
+	return cw
+}
+
+// Any single bad chip must be corrected, under both true modes, and
+// the correction must identify the right chip, data, and metadata.
+func TestCorrectSingleChipAllPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const counterVal = 987
+	const counterlessFlag = 0xFFFFFFFF
+	for _, mode := range []struct {
+		name string
+		meta uint64
+		mac  MACFunc
+		hyp  int
+	}{
+		{"counter", counterVal, macCounter, 0},
+		{"counterless", counterlessFlag, macCounterless, 1},
+	} {
+		for chip := 0; chip < TotalChips; chip++ {
+			ct := randBlock(rng)
+			cw := Encode(ct, mode.mac(ct, mode.meta), mode.meta)
+			bad := corrupt(cw, chip, 0xBADC0FFEE0DD+uint64(chip))
+			res := Correct(bad, hyps(counterVal))
+			if !res.OK {
+				t.Fatalf("%s mode, chip %d: correction failed (DUE=%v, matches=%d)",
+					mode.name, chip, res.DUE, len(res.Candidates))
+			}
+			if res.BadChip != chip {
+				t.Errorf("%s mode, chip %d: identified chip %d", mode.name, chip, res.BadChip)
+			}
+			if res.Data != ct {
+				t.Errorf("%s mode, chip %d: data not restored", mode.name, chip)
+			}
+			if res.Meta != mode.meta {
+				t.Errorf("%s mode, chip %d: meta = %d, want %d", mode.name, chip, res.Meta, mode.meta)
+			}
+			if res.Hypothesis != mode.hyp {
+				t.Errorf("%s mode, chip %d: hypothesis %d, want %d", mode.name, chip, res.Hypothesis, mode.hyp)
+			}
+		}
+	}
+}
+
+// A clean block must come back as a single no-error match.
+func TestCorrectCleanBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ct := randBlock(rng)
+	cw := Encode(ct, macCounter(ct, 55), 55)
+	res := Correct(cw, hyps(55))
+	if !res.OK || res.BadChip != -1 || res.Data != ct {
+		t.Errorf("clean block: OK=%v badChip=%d", res.OK, res.BadChip)
+	}
+}
+
+// Two bad chips exceed chipkill's correction power: must be a DUE,
+// never a silent miscorrection to the wrong data.
+func TestCorrectDoubleChipIsDUE(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 20; trial++ {
+		ct := randBlock(rng)
+		cw := Encode(ct, macCounter(ct, 5), 5)
+		c1 := rng.Intn(TotalChips)
+		c2 := rng.Intn(TotalChips)
+		for c2 == c1 {
+			c2 = rng.Intn(TotalChips)
+		}
+		bad := corrupt(corrupt(cw, c1, rng.Uint64()|1), c2, rng.Uint64()|1)
+		res := Correct(bad, hyps(5))
+		if res.OK && res.Data != ct {
+			t.Fatalf("trial %d: silent miscorrection (chips %d,%d)", trial, c1, c2)
+		}
+		if !res.DUE {
+			// A two-chip error can only "succeed" by MAC collision
+			// (probability 2^-64); treat success here as failure.
+			t.Fatalf("trial %d: two-chip error not flagged DUE", trial)
+		}
+	}
+}
+
+// The dual-hypothesis machinery (Fig. 14): a block written in counter
+// mode whose parity chip died must still be corrected even though the
+// decoded metadata is garbage — the counter-block hypothesis supplies
+// the right value.
+func TestCorrectRecoversMetaFromHypothesis(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	ct := randBlock(rng)
+	const counterVal = 424242
+	cw := Encode(ct, macCounter(ct, counterVal), counterVal)
+	bad := corrupt(cw, ParityChip, 0xFFFF0000FFFF)
+	if m := bad.DecodeMeta(); m == counterVal {
+		t.Fatal("test setup: metadata should decode wrong")
+	}
+	res := Correct(bad, hyps(counterVal))
+	if !res.OK || res.Meta != counterVal || res.BadChip != ParityChip {
+		t.Errorf("parity-chip recovery failed: %+v", res)
+	}
+}
+
+// With only ONE hypothesis (plain Synergy), correction still works for
+// blocks whose metadata matches the hypothesis.
+func TestCorrectSingleHypothesis(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	ct := randBlock(rng)
+	cw := Encode(ct, macCounter(ct, 0), 0)
+	bad := corrupt(cw, 3, 0x1111)
+	res := Correct(bad, []Hypothesis{{Name: "synergy", Meta: 0, MAC: macCounter}})
+	if !res.OK || res.BadChip != 3 || res.Data != ct {
+		t.Errorf("single-hypothesis correction failed: %+v", res)
+	}
+}
+
+// Exhaustive single-bit errors in every bit position of every chip.
+func TestCorrectEveryBitPosition(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	ct := randBlock(rng)
+	const meta = 31337
+	cw := Encode(ct, macCounter(ct, meta), meta)
+	for chip := 0; chip < TotalChips; chip++ {
+		for bit := 0; bit < 64; bit += 7 { // sample bits to keep runtime low
+			bad := corrupt(cw, chip, 1<<bit)
+			res := Correct(bad, hyps(meta))
+			if !res.OK || res.Data != ct || res.Meta != meta {
+				t.Fatalf("chip %d bit %d: not corrected", chip, bit)
+			}
+		}
+	}
+}
+
+// Candidates must be exposed for ambiguous corrections so the entropy
+// disambiguator can pick: force ambiguity by using a weak (constant)
+// MAC function, which makes every trial match.
+func TestAmbiguousCorrectionExposesCandidates(t *testing.T) {
+	weak := func(ct cipher.Block, meta uint64) uint64 { return 0 }
+	var ct cipher.Block
+	cw := Encode(ct, 0, 7)
+	res := Correct(cw, []Hypothesis{
+		{Name: "a", Meta: 7, MAC: weak},
+		{Name: "b", Meta: 9, MAC: weak},
+	})
+	if !res.DUE {
+		t.Fatal("expected DUE from ambiguous trials")
+	}
+	if len(res.Candidates) < 2 {
+		t.Errorf("want >=2 candidates, got %d", len(res.Candidates))
+	}
+}
+
+// Property: encode/verify round trip for arbitrary data and metadata.
+func TestQuickVerify(t *testing.T) {
+	f := func(ct cipher.Block, meta uint32) bool {
+		m := uint64(meta)
+		cw := Encode(ct, macCounter(ct, m), m)
+		got, ok := Verify(cw, macCounter)
+		return ok && got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	var ct cipher.Block
+	cw := Encode(ct, macCounter(ct, 1), 1)
+	for i := 0; i < b.N; i++ {
+		Verify(cw, macCounter)
+	}
+}
+
+func BenchmarkCorrectSingleChip(b *testing.B) {
+	rng := rand.New(rand.NewSource(28))
+	ct := randBlock(rng)
+	cw := Encode(ct, macCounter(ct, 9), 9)
+	bad := corrupt(cw, 4, 0xFF)
+	h := hyps(9)
+	for i := 0; i < b.N; i++ {
+		Correct(bad, h)
+	}
+}

@@ -1,0 +1,43 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"counterlight/internal/cipher"
+	"counterlight/internal/crypto/keccak"
+	"counterlight/internal/ecc"
+)
+
+// A block's EncryptionMetadata (its counter value, or the counterless
+// flag) travels inside the Synergy chipkill parity: encoding is one
+// extra XOR at write time, decoding a 4-level XOR tree at read time,
+// and a single dead chip is healed by trial-and-error correction.
+func Example() {
+	mac := func(ct cipher.Block, meta uint64) uint64 {
+		var m [8]byte
+		for i := range m {
+			m[i] = byte(meta >> (8 * i))
+		}
+		return keccak.MAC64([]byte("key"), ct[:], m[:])
+	}
+
+	var ciphertext cipher.Block
+	copy(ciphertext[:], []byte("encrypted payload"))
+	const counter = 7
+
+	cw := ecc.Encode(ciphertext, mac(ciphertext, counter), counter)
+	meta, ok := ecc.Verify(cw, mac)
+	fmt.Println("clean read:", ok, "meta =", meta)
+
+	// Chip 3 dies.
+	cw.Data[3] ^= 0xDEAD_BEEF
+	_, ok = ecc.Verify(cw, mac)
+	fmt.Println("after fault, fast path:", ok)
+
+	res := ecc.Correct(cw, []ecc.Hypothesis{{Name: "counter", Meta: counter, MAC: mac}})
+	fmt.Println("corrected:", res.OK, "bad chip =", res.BadChip, "meta =", res.Meta)
+	// Output:
+	// clean read: true meta = 7
+	// after fault, fast path: false
+	// corrected: true bad chip = 3 meta = 7
+}

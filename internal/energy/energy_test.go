@@ -1,0 +1,77 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMeterErrors(t *testing.T) {
+	if _, err := NewMeter(Params{ActivatePJ: -1}); err == nil {
+		t.Error("want error for negative parameter")
+	}
+	if _, err := NewMeter(DefaultParams()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynamicEnergy(t *testing.T) {
+	p := Params{ActivatePJ: 10, ReadPJ: 3, WritePJ: 4, BackgroundMW: 0}
+	m, _ := NewMeter(p)
+	m.AddActivate()
+	m.AddActivate()
+	m.AddRead()
+	m.AddWrite()
+	if got := m.DynamicPJ(); math.Abs(got-27) > 1e-9 {
+		t.Errorf("DynamicPJ = %v, want 27", got)
+	}
+	a, r, w := m.Counts()
+	if a != 2 || r != 1 || w != 1 {
+		t.Errorf("counts = %d/%d/%d", a, r, w)
+	}
+}
+
+func TestBackgroundEnergy(t *testing.T) {
+	m, _ := NewMeter(Params{BackgroundMW: 2000})
+	// 2000 mW = 2000 pJ/ns; 1 µs = 1000 ns -> 2e6 pJ.
+	got := m.BackgroundPJ(1_000_000_000) // 1 ms in ps? No: 1e9 ps = 1 ms... use 1e6 ps = 1 µs
+	_ = got
+	if got := m.BackgroundPJ(1_000_000); math.Abs(got-2_000_000) > 1 {
+		t.Errorf("BackgroundPJ(1µs) = %v, want 2e6", got)
+	}
+}
+
+func TestTotalAndPerInstruction(t *testing.T) {
+	m, _ := NewMeter(Params{ReadPJ: 100, BackgroundMW: 1000})
+	m.AddRead()
+	total := m.TotalPJ(1000) // 1 ns background = 1000 pJ
+	if math.Abs(total-1100) > 1e-9 {
+		t.Errorf("TotalPJ = %v, want 1100", total)
+	}
+	if got := m.PerInstructionPJ(1000, 11); math.Abs(got-100) > 1e-9 {
+		t.Errorf("PerInstructionPJ = %v, want 100", got)
+	}
+	if m.PerInstructionPJ(1000, 0) != 0 {
+		t.Error("zero instructions must not divide by zero")
+	}
+}
+
+// The paper's energy argument: for a fixed amount of work, a run that
+// finishes sooner uses less total energy because background dominates.
+func TestIdleDominatedSavings(t *testing.T) {
+	p := DefaultParams()
+	fast, _ := NewMeter(p)
+	slow, _ := NewMeter(p)
+	for i := 0; i < 1000; i++ {
+		fast.AddRead()
+		slow.AddRead()
+	}
+	eFast := fast.TotalPJ(10_000_000) // 10 µs
+	eSlow := slow.TotalPJ(11_000_000) // 10% slower
+	if eSlow <= eFast {
+		t.Error("slower run must cost more energy")
+	}
+	saving := 1 - eFast/eSlow
+	if saving < 0.05 {
+		t.Errorf("energy saving = %.3f, want >= 5%% for a 10%% speedup (idle-dominated)", saving)
+	}
+}

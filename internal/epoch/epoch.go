@@ -1,0 +1,172 @@
+// Package epoch implements the bandwidth monitor that drives
+// Counter-light's dynamic writeback-mode switching (paper §IV-B).
+//
+// The memory controller counts all memory accesses (LLC misses,
+// writebacks, and counter accesses) in fixed 100 µs epochs. If an
+// epoch's access count exceeded the threshold — a fraction (default
+// 60%) of the maximum number of accesses the channel could serve in an
+// epoch — the *next* epoch performs all LLC writebacks in counterless
+// mode (no counter or integrity-tree traffic). Otherwise the next
+// epoch starts in counter mode and falls back to counterless mid-epoch
+// the moment its own access count crosses the same threshold.
+package epoch
+
+import "fmt"
+
+// Mode is the writeback encryption mode selected for (part of) an epoch.
+type Mode int
+
+const (
+	// CounterMode writebacks update counters and the integrity tree.
+	CounterMode Mode = iota
+	// Counterless writebacks skip all counter traffic.
+	Counterless
+)
+
+func (m Mode) String() string {
+	if m == Counterless {
+		return "counterless"
+	}
+	return "counter"
+}
+
+// Record is the closed-epoch log entry kept for timeline analysis.
+type Record struct {
+	Accesses    uint64  // accesses observed in the epoch
+	Utilization float64 // accesses / channel capacity
+	StartMode   Mode    // mode the epoch started in
+	SwitchedMid bool    // crossed the threshold and fell back mid-epoch
+}
+
+// maxHistory bounds the per-run timeline log.
+const maxHistory = 1 << 16
+
+// Monitor tracks accesses per epoch and decides the writeback mode.
+type Monitor struct {
+	epochLen    int64   // epoch duration in ps (100 µs)
+	maxAccesses uint64  // channel capacity in accesses per epoch
+	threshold   uint64  // access count that defines "high utilization"
+	fraction    float64 // threshold as a fraction (diagnostics)
+
+	epochStart    int64
+	accesses      uint64 // accesses observed in the current epoch
+	mode          Mode   // writeback mode in effect right now
+	startMode     Mode   // mode the current epoch started in
+	nextFromStart Mode   // mode the next epoch will start in
+	history       []Record
+
+	// statistics
+	epochs              uint64
+	counterlessEpochs   uint64 // epochs that *started* counterless
+	midEpochSwitches    uint64
+	totalAccesses       uint64
+	busyAccumulated     uint64 // Σ per-epoch accesses, for utilization
+	capacityAccumulated uint64 // Σ per-epoch capacity
+}
+
+// NewMonitor builds a monitor. epochLen is the epoch duration in
+// picoseconds; accessTime is the channel occupancy of one 64-byte
+// access in picoseconds (64 B / bandwidth); thresholdFraction is the
+// utilization threshold (the paper sweeps 0.10, 0.60, 0.80).
+func NewMonitor(epochLen, accessTime int64, thresholdFraction float64) (*Monitor, error) {
+	if epochLen <= 0 || accessTime <= 0 {
+		return nil, fmt.Errorf("epoch: invalid epochLen=%d accessTime=%d", epochLen, accessTime)
+	}
+	if thresholdFraction <= 0 || thresholdFraction > 1 {
+		return nil, fmt.Errorf("epoch: threshold fraction %v out of (0,1]", thresholdFraction)
+	}
+	maxAcc := uint64(epochLen / accessTime)
+	if maxAcc == 0 {
+		return nil, fmt.Errorf("epoch: epoch shorter than one access")
+	}
+	thr := uint64(float64(maxAcc) * thresholdFraction)
+	if thr == 0 {
+		thr = 1
+	}
+	return &Monitor{
+		epochLen:    epochLen,
+		maxAccesses: maxAcc,
+		threshold:   thr,
+		fraction:    thresholdFraction,
+	}, nil
+}
+
+// Record notes one memory access (read, write, or counter access) at
+// simulated time now, rolling epochs forward as needed.
+func (m *Monitor) Record(now int64) {
+	m.roll(now)
+	m.accesses++
+	m.totalAccesses++
+	// Mid-epoch fallback: a counter-mode epoch that crosses the
+	// threshold switches to counterless for the remainder (§IV-B).
+	if m.mode == CounterMode && m.accesses > m.threshold {
+		m.mode = Counterless
+		m.midEpochSwitches++
+	}
+}
+
+// WritebackMode returns the mode to use for a writeback issued at now.
+func (m *Monitor) WritebackMode(now int64) Mode {
+	m.roll(now)
+	return m.mode
+}
+
+// roll advances epoch boundaries up to now.
+func (m *Monitor) roll(now int64) {
+	for now-m.epochStart >= m.epochLen {
+		// Close the current epoch: its access count decides the next
+		// epoch's starting mode.
+		if m.accesses > m.threshold {
+			m.nextFromStart = Counterless
+		} else {
+			m.nextFromStart = CounterMode
+		}
+		m.epochs++
+		if m.nextFromStart == Counterless {
+			m.counterlessEpochs++
+		}
+		m.busyAccumulated += m.accesses
+		m.capacityAccumulated += m.maxAccesses
+		if len(m.history) < maxHistory {
+			m.history = append(m.history, Record{
+				Accesses:    m.accesses,
+				Utilization: float64(m.accesses) / float64(m.maxAccesses),
+				StartMode:   m.startMode,
+				SwitchedMid: m.startMode == CounterMode && m.mode == Counterless,
+			})
+		}
+		m.epochStart += m.epochLen
+		m.accesses = 0
+		m.mode = m.nextFromStart
+		m.startMode = m.nextFromStart
+	}
+}
+
+// Utilization returns the average access-count utilization across all
+// completed epochs (0 before the first boundary).
+func (m *Monitor) Utilization() float64 {
+	if m.capacityAccumulated == 0 {
+		return 0
+	}
+	return float64(m.busyAccumulated) / float64(m.capacityAccumulated)
+}
+
+// Threshold returns the per-epoch access threshold.
+func (m *Monitor) Threshold() uint64 { return m.threshold }
+
+// MaxAccesses returns the per-epoch channel capacity in accesses.
+func (m *Monitor) MaxAccesses() uint64 { return m.maxAccesses }
+
+// Epochs returns the number of completed epochs.
+func (m *Monitor) Epochs() uint64 { return m.epochs }
+
+// CounterlessEpochs returns how many completed epochs started in
+// counterless mode.
+func (m *Monitor) CounterlessEpochs() uint64 { return m.counterlessEpochs }
+
+// MidEpochSwitches counts counter-mode epochs that fell back to
+// counterless before ending.
+func (m *Monitor) MidEpochSwitches() uint64 { return m.midEpochSwitches }
+
+// History returns the closed-epoch timeline (capped at 65536 entries).
+func (m *Monitor) History() []Record { return m.history }

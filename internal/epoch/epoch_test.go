@@ -1,0 +1,192 @@
+package epoch
+
+import "testing"
+
+const (
+	us     = int64(1_000_000) // 1 µs in ps
+	epochL = 100 * us         // the paper's 100 µs epoch
+	burst  = int64(2500)      // 64B at 25.6 GB/s = 2.5 ns
+)
+
+func newMon(t *testing.T, frac float64) *Monitor {
+	t.Helper()
+	m, err := NewMonitor(epochL, burst, frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMonitorErrors(t *testing.T) {
+	if _, err := NewMonitor(0, burst, 0.6); err == nil {
+		t.Error("want error for zero epoch")
+	}
+	if _, err := NewMonitor(epochL, 0, 0.6); err == nil {
+		t.Error("want error for zero access time")
+	}
+	if _, err := NewMonitor(epochL, burst, 0); err == nil {
+		t.Error("want error for zero threshold")
+	}
+	if _, err := NewMonitor(epochL, burst, 1.5); err == nil {
+		t.Error("want error for threshold > 1")
+	}
+	if _, err := NewMonitor(burst/2, burst, 0.6); err == nil {
+		t.Error("want error for epoch shorter than one access")
+	}
+}
+
+func TestCapacityAndThreshold(t *testing.T) {
+	m := newMon(t, 0.6)
+	// 100 µs / 2.5 ns = 40000 accesses per epoch; threshold 24000.
+	if m.MaxAccesses() != 40000 {
+		t.Errorf("MaxAccesses = %d, want 40000", m.MaxAccesses())
+	}
+	if m.Threshold() != 24000 {
+		t.Errorf("Threshold = %d, want 24000", m.Threshold())
+	}
+}
+
+func TestStartsInCounterMode(t *testing.T) {
+	m := newMon(t, 0.6)
+	if got := m.WritebackMode(0); got != CounterMode {
+		t.Errorf("initial mode = %v, want counter", got)
+	}
+}
+
+// A quiet epoch keeps the next epoch in counter mode.
+func TestQuietEpochStaysCounterMode(t *testing.T) {
+	m := newMon(t, 0.6)
+	for i := 0; i < 100; i++ { // far below 24000
+		m.Record(int64(i) * 1000)
+	}
+	if got := m.WritebackMode(epochL + 1); got != CounterMode {
+		t.Errorf("after quiet epoch mode = %v, want counter", got)
+	}
+	if m.Epochs() != 1 || m.CounterlessEpochs() != 0 {
+		t.Errorf("epochs=%d counterless=%d", m.Epochs(), m.CounterlessEpochs())
+	}
+}
+
+// A busy epoch makes the whole next epoch counterless.
+func TestBusyEpochSwitchesNext(t *testing.T) {
+	m := newMon(t, 0.6)
+	for i := 0; i < 30000; i++ { // above 24000
+		m.Record(int64(i) * (epochL / 40000))
+	}
+	if got := m.WritebackMode(epochL + 1); got != Counterless {
+		t.Errorf("after busy epoch mode = %v, want counterless", got)
+	}
+	if m.CounterlessEpochs() != 1 {
+		t.Errorf("counterless epochs = %d, want 1", m.CounterlessEpochs())
+	}
+}
+
+// Crossing the threshold mid-epoch flips the CURRENT epoch to
+// counterless for its remainder (§IV-B).
+func TestMidEpochFallback(t *testing.T) {
+	m := newMon(t, 0.6)
+	thr := int(m.Threshold())
+	for i := 0; i <= thr; i++ {
+		m.Record(int64(i)) // all within the first epoch
+	}
+	if got := m.WritebackMode(int64(thr) + 1); got != Counterless {
+		t.Errorf("mid-epoch mode = %v, want counterless after crossing threshold", got)
+	}
+	if m.MidEpochSwitches() != 1 {
+		t.Errorf("mid-epoch switches = %d, want 1", m.MidEpochSwitches())
+	}
+}
+
+// After a busy epoch and then a quiet one, mode returns to counter.
+func TestRecovery(t *testing.T) {
+	m := newMon(t, 0.6)
+	for i := 0; i < 30000; i++ {
+		m.Record(int64(i) * (epochL / 40000))
+	}
+	// Epoch 2: silent. Roll to epoch 3.
+	if got := m.WritebackMode(2*epochL + 1); got != CounterMode {
+		t.Errorf("after quiet epoch mode = %v, want counter again", got)
+	}
+}
+
+// Rolling across many empty epochs must terminate and count them.
+func TestRollManyEpochs(t *testing.T) {
+	m := newMon(t, 0.6)
+	m.Record(0)
+	m.Record(50 * epochL)
+	if m.Epochs() != 50 {
+		t.Errorf("epochs = %d, want 50", m.Epochs())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := newMon(t, 0.6)
+	// Exactly half the capacity in epoch 0.
+	n := int(m.MaxAccesses() / 2)
+	for i := 0; i < n; i++ {
+		m.Record(int64(i))
+	}
+	m.WritebackMode(epochL + 1) // close epoch 0
+	u := m.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Errorf("utilization = %v, want ~0.5", u)
+	}
+}
+
+// Threshold sweep sanity: a lower threshold switches more epochs to
+// counterless under the same traffic (Fig. 21's trend).
+func TestThresholdSweepTrend(t *testing.T) {
+	counterlessShare := func(frac float64) float64 {
+		m := newMon(t, frac)
+		// Steady traffic at ~40% utilization across 50 epochs.
+		perEpoch := int(float64(m.MaxAccesses()) * 0.4)
+		for e := 0; e < 50; e++ {
+			base := int64(e) * epochL
+			for i := 0; i < perEpoch; i++ {
+				m.Record(base + int64(i)*(epochL/int64(perEpoch)))
+			}
+		}
+		m.WritebackMode(51 * epochL)
+		return float64(m.CounterlessEpochs()) / float64(m.Epochs())
+	}
+	low := counterlessShare(0.10) // threshold below traffic: all counterless
+	mid := counterlessShare(0.60) // threshold above traffic: none
+	if low < 0.9 {
+		t.Errorf("10%% threshold: counterless share = %v, want ~1", low)
+	}
+	if mid > 0.1 {
+		t.Errorf("60%% threshold: counterless share = %v, want ~0", mid)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if CounterMode.String() != "counter" || Counterless.String() != "counterless" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestHistoryTimeline(t *testing.T) {
+	m := newMon(t, 0.6)
+	// Epoch 0: busy (beyond threshold). Epoch 1: quiet. Close both.
+	for i := 0; i < int(m.Threshold())+10; i++ {
+		m.Record(int64(i))
+	}
+	m.Record(epochL + 5) // one access in epoch 1
+	m.WritebackMode(2*epochL + 1)
+	h := m.History()
+	if len(h) != 2 {
+		t.Fatalf("history length = %d, want 2", len(h))
+	}
+	if h[0].StartMode != CounterMode || !h[0].SwitchedMid {
+		t.Errorf("epoch 0 record = %+v, want counter-mode start with mid switch", h[0])
+	}
+	if h[0].Utilization <= 0.6 {
+		t.Errorf("epoch 0 utilization = %v, want above threshold", h[0].Utilization)
+	}
+	if h[1].StartMode != Counterless {
+		t.Errorf("epoch 1 started %v, want counterless (previous epoch busy)", h[1].StartMode)
+	}
+	if h[1].SwitchedMid {
+		t.Error("epoch 1 wrongly marked mid-switched")
+	}
+}

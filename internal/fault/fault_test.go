@@ -1,0 +1,91 @@
+package fault
+
+import (
+	"testing"
+
+	"counterlight/internal/core"
+)
+
+func newEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	e, err := core.NewEngine(core.DefaultEngineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// Chipkill's contract: every single-chip fault corrects to the
+// original data and blames the right chip; nothing is ever silently
+// wrong.
+func TestSingleChipCampaign(t *testing.T) {
+	e := newEngine(t)
+	out, err := Campaign(e, SingleChip, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SilentCorrupt != 0 {
+		t.Fatalf("%d silent corruptions", out.SilentCorrupt)
+	}
+	if out.Corrected != out.Trials {
+		t.Errorf("corrected %d/%d single-chip faults", out.Corrected, out.Trials)
+	}
+	if out.CorrectChipID != out.Corrected {
+		t.Errorf("chip misidentified in %d corrections", out.Corrected-out.CorrectChipID)
+	}
+	if out.DUE != 0 {
+		t.Errorf("%d spurious DUEs", out.DUE)
+	}
+}
+
+// Double-chip faults exceed chipkill: every one must be a DUE, never
+// silent corruption (the property Synergy's trial count is sized for).
+func TestDoubleChipCampaign(t *testing.T) {
+	e := newEngine(t)
+	out, err := Campaign(e, DoubleChip, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SilentCorrupt != 0 {
+		t.Fatalf("%d silent corruptions from double-chip faults", out.SilentCorrupt)
+	}
+	if out.DUE != out.Trials {
+		t.Errorf("DUE for %d/%d double-chip faults", out.DUE, out.Trials)
+	}
+}
+
+func TestStuckAtZeroCampaign(t *testing.T) {
+	e := newEngine(t)
+	out, err := Campaign(e, StuckAtZero, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SilentCorrupt != 0 || out.Corrected != out.Trials {
+		t.Errorf("stuck-at-zero: %+v", out)
+	}
+}
+
+func TestBitFlipCampaign(t *testing.T) {
+	e := newEngine(t)
+	out, err := Campaign(e, BitFlip, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SilentCorrupt != 0 || out.Corrected != out.Trials {
+		t.Errorf("bit-flip: %+v", out)
+	}
+	if out.CorrectChipID != out.Corrected {
+		t.Errorf("single-bit faults misattributed: %+v", out)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		SingleChip: "single-chip", DoubleChip: "double-chip",
+		StuckAtZero: "stuck-at-zero", BitFlip: "single-bit",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %s", int(k), k.String())
+		}
+	}
+}

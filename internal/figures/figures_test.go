@@ -1,0 +1,88 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableI(t *testing.T) {
+	f := TableI()
+	if f.ID != "TableI" || len(f.Rows) < 8 {
+		t.Errorf("TableI = %+v", f)
+	}
+	s := f.String()
+	for _, want := range []string{"13.75", "25.6", "60%", "OoO"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("TableI output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigureString(t *testing.T) {
+	f := Figure{
+		ID:      "X",
+		Title:   "test",
+		Columns: []string{"a", "bbbb"},
+		Rows:    [][]string{{"longer", "1"}},
+		Notes:   []string{"n"},
+	}
+	s := f.String()
+	if !strings.Contains(s, "=== X: test ===") || !strings.Contains(s, "note: n") {
+		t.Errorf("rendering wrong:\n%s", s)
+	}
+	// Column alignment: the header row pads "a" to the width of "longer".
+	lines := strings.Split(s, "\n")
+	if len(lines) < 3 || !strings.HasPrefix(lines[1], "a     ") {
+		t.Errorf("alignment wrong: %q", lines[1])
+	}
+}
+
+// TestSec3MicroQuick validates the full figure plumbing on the
+// cheapest experiment: the result must show the counterless AES delta.
+func TestSec3MicroQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	r := NewRunner(true)
+	fig, err := r.Sec3Micro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(fig.Rows))
+	}
+	// Cached second call must be instant and identical.
+	fig2, err := r.Sec3Micro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Rows[1][1] != fig2.Rows[1][1] {
+		t.Error("memoized run differs")
+	}
+}
+
+// The runner cache must key on every variant dimension.
+func TestRunnerCacheKeys(t *testing.T) {
+	r := NewRunner(true)
+	k1 := runKey{workload: "x", scheme: 1, bwTenths: 256, aesLat: 10000, threshold: 60, dynSwitch: true, prefetch: true, cores: 4}
+	k2 := k1
+	k2.threshold = 80
+	if k1 == k2 {
+		t.Error("distinct variants collide")
+	}
+	if len(r.cache) != 0 {
+		t.Error("fresh runner has cached entries")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := Figure{
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"x,y", `say "hi"`}, {"plain", "1"}},
+	}
+	got := f.CSV()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\nplain,1\n"
+	if got != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", got, want)
+	}
+}

@@ -1,0 +1,217 @@
+// Package memoize implements RMCC's AES memoization table (paper
+// §II-C, Fig. 4) and its self-reinforcing counter-update policy.
+//
+// The table records the counter-only AES results of recently used
+// counter *values*. A single counter value is shared by many data
+// blocks, so a small table (128 entries, ~4 KB) can serve ≥90% of LLC
+// read misses even for irregular workloads. When a block's counter is
+// known (for Counter-light, the instant the ECC parity decodes), a
+// table hit replaces the 10–14 ns AES recomputation with a ~2 ns
+// lookup-and-combine (Fig. 4 and §IV-D's latency budget).
+//
+// The update policy is what keeps the hit rate high ("RMCC enhances
+// the counter update policy for LLC writebacks to increase the counter
+// value to values whose results are memoized"): writebacks snap a
+// block's counter up to the current global write value W instead of
+// incrementing it. W is an even value that advances by 2 every
+// EpochWrites writebacks, so the live blocks of a long window share a
+// handful of W values, all resident in the table. A block rewritten
+// twice while W is unchanged cannot reuse W (counters are nonces), so
+// it takes the odd value W+1, which is not memoized — a rare, bounded
+// source of misses.
+package memoize
+
+import (
+	"counterlight/internal/crypto/mix"
+)
+
+// DefaultEpochWrites is the default number of writebacks between
+// advances of the global write value.
+const DefaultEpochWrites = 4096
+
+// ComputeFunc produces the counter-only AES result for a counter
+// value. It is the slow path a table hit avoids.
+type ComputeFunc func(counter uint64) mix.Word
+
+// Table is a fixed-capacity memoization table with LRU replacement.
+// The entry for counter value 0 is pinned: every block that has never
+// been written since boot holds counter 0, so evicting it would hurt
+// cold reads across the whole address space.
+type Table struct {
+	capacity int
+	compute  ComputeFunc
+	entries  map[uint32]*node
+	head     *node // most recently used
+	tail     *node // least recently used
+
+	writeValue    uint32 // W: even, strictly increasing
+	epochWrites   int    // writebacks per W advance
+	writesInEpoch int
+
+	hits, misses uint64
+}
+
+type node struct {
+	key        uint32
+	val        mix.Word
+	pinned     bool
+	prev, next *node
+}
+
+// New creates a table with the given entry capacity (the paper uses
+// 128 entries / 4 KB) and writeback epoch length (DefaultEpochWrites
+// if epochWrites <= 0). compute supplies the counter-only AES.
+func New(capacity, epochWrites int, compute ComputeFunc) *Table {
+	if capacity < 2 {
+		capacity = 2
+	}
+	if epochWrites <= 0 {
+		epochWrites = DefaultEpochWrites
+	}
+	t := &Table{
+		capacity:    capacity,
+		compute:     compute,
+		entries:     make(map[uint32]*node, capacity),
+		writeValue:  2,
+		epochWrites: epochWrites,
+	}
+	t.insert(0, true) // never-written blocks
+	t.insert(2, false)
+	return t
+}
+
+// Lookup returns the memoized AES result for the counter value. hit
+// reports whether the value was in the table; on a miss the result is
+// computed from scratch (the caller charges the full AES latency).
+// Read misses do not insert: a missed value is block-specific (an odd
+// overflow value or an evicted old W) and inserting it would evict a
+// W value serving many blocks.
+func (t *Table) Lookup(counter uint32) (w mix.Word, hit bool) {
+	if n, ok := t.entries[counter]; ok {
+		t.hits++
+		t.moveToFront(n)
+		return n.val, true
+	}
+	t.misses++
+	return t.compute(uint64(counter)), false
+}
+
+// Peek reports whether the value is memoized without updating LRU
+// order or statistics (used by the latency model's decision logic).
+func (t *Table) Peek(counter uint32) bool {
+	_, ok := t.entries[counter]
+	return ok
+}
+
+// NextWriteCounter implements the self-reinforcing update policy. The
+// returned value always strictly exceeds old. In the common case it is
+// the memoized global write value W; a block already at or beyond W
+// (rewritten within the same write epoch) takes old+1 and drags W
+// forward if it has fallen behind.
+func (t *Table) NextWriteCounter(old uint32) uint32 {
+	t.writesInEpoch++
+	if t.writesInEpoch >= t.epochWrites {
+		t.writesInEpoch = 0
+		t.advanceW(t.writeValue + 2)
+	}
+	if old < t.writeValue {
+		return t.writeValue
+	}
+	v := old + 1
+	// Rewrites within the same epoch (old == W or W+1) take the odd
+	// overflow value without disturbing W. Only a block far ahead of W
+	// (e.g. counters imported from elsewhere) drags W forward so the
+	// system converges back to sharing.
+	if old >= t.writeValue+2 {
+		t.advanceW((old + 3) &^ 1)
+	}
+	return v
+}
+
+func (t *Table) advanceW(w uint32) {
+	t.writeValue = w
+	t.insert(w, false)
+}
+
+// WriteValue exposes the current global write value W.
+func (t *Table) WriteValue() uint32 { return t.writeValue }
+
+// Hits and Misses report lookup statistics.
+func (t *Table) Hits() uint64   { return t.hits }
+func (t *Table) Misses() uint64 { return t.misses }
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (t *Table) HitRate() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(total)
+}
+
+// ResetStats clears the hit/miss counters (per-measurement-window
+// accounting) without touching the table contents.
+func (t *Table) ResetStats() { t.hits, t.misses = 0, 0 }
+
+// Len returns the number of memoized values.
+func (t *Table) Len() int { return len(t.entries) }
+
+func (t *Table) insert(counter uint32, pinned bool) mix.Word {
+	if n, ok := t.entries[counter]; ok {
+		t.moveToFront(n)
+		return n.val
+	}
+	if len(t.entries) >= t.capacity {
+		t.evict()
+	}
+	n := &node{key: counter, val: t.compute(uint64(counter)), pinned: pinned}
+	t.entries[counter] = n
+	t.pushFront(n)
+	return n.val
+}
+
+func (t *Table) evict() {
+	victim := t.tail
+	for victim != nil && victim.pinned {
+		victim = victim.prev
+	}
+	if victim == nil {
+		return
+	}
+	t.unlink(victim)
+	delete(t.entries, victim.key)
+}
+
+func (t *Table) pushFront(n *node) {
+	n.prev = nil
+	n.next = t.head
+	if t.head != nil {
+		t.head.prev = n
+	}
+	t.head = n
+	if t.tail == nil {
+		t.tail = n
+	}
+}
+
+func (t *Table) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (t *Table) moveToFront(n *node) {
+	if t.head == n {
+		return
+	}
+	t.unlink(n)
+	t.pushFront(n)
+}

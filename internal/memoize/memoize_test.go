@@ -1,0 +1,216 @@
+package memoize
+
+import (
+	"math/rand"
+	"testing"
+
+	"counterlight/internal/cipher"
+	"counterlight/internal/crypto/mix"
+)
+
+// fake compute function: cheap, distinct per counter, and counts calls.
+func counter2word(calls *int) ComputeFunc {
+	return func(c uint64) mix.Word {
+		if calls != nil {
+			*calls++
+		}
+		return mix.Word{Hi: c * 0x9e3779b97f4a7c15, Lo: ^c}
+	}
+}
+
+func TestLookupHitMiss(t *testing.T) {
+	tb := New(8, 0, counter2word(nil))
+	// 0 and the initial W (2) are pre-seeded.
+	if _, hit := tb.Lookup(0); !hit {
+		t.Error("value 0 should be seeded")
+	}
+	if _, hit := tb.Lookup(2); !hit {
+		t.Error("initial W should be seeded")
+	}
+	if _, hit := tb.Lookup(42); hit {
+		t.Error("lookup of 42 must miss")
+	}
+	// Read misses do not insert.
+	if _, hit := tb.Lookup(42); hit {
+		t.Error("read miss must not populate the table")
+	}
+	if tb.Hits() != 2 || tb.Misses() != 2 {
+		t.Errorf("hits=%d misses=%d, want 2/2", tb.Hits(), tb.Misses())
+	}
+	if hr := tb.HitRate(); hr != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", hr)
+	}
+}
+
+// Missed lookups still return the correct (computed) value.
+func TestLookupMissComputes(t *testing.T) {
+	calls := 0
+	tb := New(8, 0, counter2word(&calls))
+	w, hit := tb.Lookup(7)
+	if hit {
+		t.Fatal("7 must miss")
+	}
+	if w != counter2word(nil)(7) {
+		t.Errorf("missed lookup returned wrong word: %+v", w)
+	}
+	// Hit path must return the identical word without recomputing.
+	calls = 0
+	w2, hit := tb.Lookup(0)
+	if !hit || w2 != counter2word(nil)(0) {
+		t.Error("hit returned wrong word")
+	}
+	if calls != 0 {
+		t.Error("hit path recomputed AES")
+	}
+}
+
+func TestLRUEvictionProtectsPinnedZero(t *testing.T) {
+	tb := New(3, 0, counter2word(nil)) // holds 0 (pinned), 2, and one more
+	// Drive W forward so new values are inserted and eviction happens.
+	for i := 0; i < 10; i++ {
+		tb.advanceW(tb.writeValue + 2)
+	}
+	if !tb.Peek(0) {
+		t.Error("pinned value 0 was evicted")
+	}
+	if !tb.Peek(tb.WriteValue()) {
+		t.Error("current W not resident")
+	}
+	if tb.Len() > 3 {
+		t.Errorf("len = %d exceeds capacity", tb.Len())
+	}
+}
+
+func TestPeekDoesNotCountOrReorder(t *testing.T) {
+	tb := New(4, 0, counter2word(nil))
+	tb.ResetStats()
+	tb.Peek(0)
+	tb.Peek(99)
+	if tb.Hits() != 0 || tb.Misses() != 0 {
+		t.Error("Peek must not touch statistics")
+	}
+}
+
+// The update policy invariants: always strictly greater than old, and
+// in the common case (old < W) memoized.
+func TestNextWriteCounterInvariants(t *testing.T) {
+	tb := New(128, 64, counter2word(nil))
+	rng := rand.New(rand.NewSource(40))
+	for i := 0; i < 10000; i++ {
+		w := tb.WriteValue()
+		old := uint32(rng.Intn(int(w) + 2))
+		v := tb.NextWriteCounter(old)
+		if v <= old {
+			t.Fatalf("NextWriteCounter(%d) = %d, not strictly greater", old, v)
+		}
+		if old < w && !tb.Peek(v) {
+			t.Fatalf("common-case write counter %d not memoized (old=%d W=%d)", v, old, w)
+		}
+	}
+}
+
+// Two different blocks written in the same epoch share the same W
+// (that sharing is what makes one memoized value serve many blocks).
+func TestNextWriteCounterSharing(t *testing.T) {
+	tb := New(128, 1024, counter2word(nil))
+	v1 := tb.NextWriteCounter(0)
+	v2 := tb.NextWriteCounter(0)
+	if v1 != v2 {
+		t.Errorf("two blocks with old=0 got different write values: %d, %d", v1, v2)
+	}
+	// Rewriting a block already at W must still advance (nonce rule).
+	v3 := tb.NextWriteCounter(v1)
+	if v3 <= v1 {
+		t.Errorf("rewrite at W must produce a larger counter: %d -> %d", v1, v3)
+	}
+}
+
+// W advances on the epoch boundary.
+func TestEpochAdvance(t *testing.T) {
+	tb := New(128, 10, counter2word(nil))
+	w0 := tb.WriteValue()
+	for i := 0; i < 10; i++ {
+		tb.NextWriteCounter(0)
+	}
+	if tb.WriteValue() <= w0 {
+		t.Error("W did not advance after an epoch of writes")
+	}
+	if !tb.Peek(tb.WriteValue()) {
+		t.Error("advanced W not memoized")
+	}
+}
+
+// A block that ran ahead of W drags W forward so the system converges.
+func TestRunawayBlockDragsW(t *testing.T) {
+	tb := New(128, 1<<30, counter2word(nil))
+	v := tb.NextWriteCounter(1000)
+	if v != 1001 {
+		t.Errorf("runaway write got %d, want 1001", v)
+	}
+	if tb.WriteValue() <= 1000 {
+		t.Errorf("W = %d, should have been dragged past the runaway block", tb.WriteValue())
+	}
+}
+
+// The paper's headline property (§IV-D): ≥90% of read lookups hit even
+// under an irregular access pattern, because the policy concentrates
+// live counters on few values. Simulate: many blocks, random rewrites,
+// random reads.
+func TestIrregularWorkloadHitRate(t *testing.T) {
+	tb := New(128, DefaultEpochWrites, counter2word(nil))
+	rng := rand.New(rand.NewSource(41))
+	const blocks = 100000
+	ctr := make([]uint32, blocks) // current counter per block (0 = never written)
+	for i := 0; i < 500000; i++ {
+		b := rng.Intn(blocks)
+		ctr[b] = tb.NextWriteCounter(ctr[b])
+	}
+	tb.ResetStats()
+	for i := 0; i < 200000; i++ {
+		b := rng.Intn(blocks)
+		tb.Lookup(ctr[b])
+	}
+	if hr := tb.HitRate(); hr < 0.90 {
+		t.Errorf("irregular-workload hit rate = %.3f, want >= 0.90", hr)
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	tb := New(0, 0, counter2word(nil))
+	if tb.capacity != 2 {
+		t.Errorf("capacity floor = %d, want 2", tb.capacity)
+	}
+}
+
+// Integration sanity: the table must return the same word as the real
+// counter-mode engine computes, so decryption through the table is
+// identical to decryption from scratch.
+func TestMatchesRealCipher(t *testing.T) {
+	cm, err := cipher.NewCounterMode(make([]byte, 16), 0xBEEF, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := New(128, 0, cm.CounterAES)
+	w, _ := tb.Lookup(77)
+	if w != cm.CounterAES(77) {
+		t.Error("memoized counter AES differs from engine's")
+	}
+	w2, hit := tb.Lookup(0)
+	if !hit || w2 != cm.CounterAES(0) {
+		t.Error("seeded counter AES differs from engine's")
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	tb := New(128, 0, counter2word(nil))
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(0)
+	}
+}
+
+func BenchmarkNextWriteCounter(b *testing.B) {
+	tb := New(128, 0, counter2word(nil))
+	for i := 0; i < b.N; i++ {
+		tb.NextWriteCounter(0)
+	}
+}

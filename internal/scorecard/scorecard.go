@@ -1,0 +1,225 @@
+// Package scorecard grades the reproduction: it encodes the paper's
+// published headline numbers per figure, extracts the corresponding
+// measured values from a figures.Runner, and reports how close each
+// reproduction target landed. cmd/clreport renders the result.
+//
+// Grades are deliberately coarse — the substrate is a purpose-built
+// simulator, not the authors' gem5 — so each check carries its own
+// tolerance and a note about which property (ordering, ratio, trend)
+// it actually guards.
+package scorecard
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"counterlight/internal/figures"
+)
+
+// Check is one paper-vs-measured comparison.
+type Check struct {
+	Figure    string
+	Metric    string
+	Paper     float64
+	Measured  float64
+	Tolerance float64 // absolute tolerance on the comparison scale
+	Note      string
+}
+
+// Pass reports whether the measured value is within tolerance.
+func (c Check) Pass() bool {
+	return !math.IsNaN(c.Measured) && math.Abs(c.Measured-c.Paper) <= c.Tolerance
+}
+
+// Grade returns "PASS", "CLOSE" (within 2x tolerance), or "DEVIATES".
+func (c Check) Grade() string {
+	if math.IsNaN(c.Measured) {
+		return "MISSING"
+	}
+	d := math.Abs(c.Measured - c.Paper)
+	switch {
+	case d <= c.Tolerance:
+		return "PASS"
+	case d <= 2*c.Tolerance:
+		return "CLOSE"
+	default:
+		return "DEVIATES"
+	}
+}
+
+// Report is the full scorecard.
+type Report struct {
+	Checks []Check
+}
+
+// Passed counts checks that pass outright.
+func (r Report) Passed() int {
+	n := 0
+	for _, c := range r.Checks {
+		if c.Pass() {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the scorecard as a text table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %-42s %8s %9s %9s  %s\n",
+		"figure", "metric", "paper", "measured", "grade", "note")
+	for _, c := range r.Checks {
+		fmt.Fprintf(&b, "%-7s %-42s %8.3f %9.3f %9s  %s\n",
+			c.Figure, c.Metric, c.Paper, c.Measured, c.Grade(), c.Note)
+	}
+	fmt.Fprintf(&b, "\n%d/%d checks pass\n", r.Passed(), len(r.Checks))
+	return b.String()
+}
+
+// meanOf extracts the named column's value from a figure's "mean" row.
+func meanOf(f figures.Figure, column string) float64 {
+	col := -1
+	for i, c := range f.Columns {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return math.NaN()
+	}
+	for _, row := range f.Rows {
+		if row[0] != "mean" || col >= len(row) {
+			continue
+		}
+		return parseNum(row[col])
+	}
+	return math.NaN()
+}
+
+// cellOf extracts a specific workload row's column value.
+func cellOf(f figures.Figure, rowLabel, column string) float64 {
+	col := -1
+	for i, c := range f.Columns {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return math.NaN()
+	}
+	for _, row := range f.Rows {
+		if row[0] == rowLabel && col < len(row) {
+			return parseNum(row[col])
+		}
+	}
+	return math.NaN()
+}
+
+// parseNum handles both "0.941" and "36.0%" cells.
+func parseNum(s string) float64 {
+	pct := strings.HasSuffix(s, "%")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	if pct {
+		v /= 100
+	}
+	return v
+}
+
+// Build runs the experiments (through the memoizing runner) and grades
+// them against the paper's published numbers.
+func Build(r *figures.Runner) (Report, error) {
+	var rep Report
+	add := func(c Check) { rep.Checks = append(rep.Checks, c) }
+
+	fig5, err := r.Fig5()
+	if err != nil {
+		return rep, err
+	}
+	add(Check{"Fig5", "counterless mean perf (AES-128)", 0.91, meanOf(fig5, "AES-128"), 0.02,
+		"Sec III: irregular workloads drop to 91%"})
+	add(Check{"Fig5", "counterless mean perf (AES-256)", 0.87, meanOf(fig5, "AES-256"), 0.02,
+		"Sec III: 13% average slowdown under AES-256"})
+
+	fig8, err := r.Fig8()
+	if err != nil {
+		return rep, err
+	}
+	add(Check{"Fig8", "fraction of misses with late counter", 0.22, meanOf(fig8, "counter late"), 0.08,
+		"counter can arrive after data for a significant minority"})
+
+	fig9, err := r.Fig9()
+	if err != nil {
+		return rep, err
+	}
+	single := meanOf(fig9, "single-counter")
+	cls := meanOf(fig9, "counterless")
+	add(Check{"Fig9", "single-counter overhead ~= counterless", 0.0, single - cls, 0.04,
+		"the one counter access alone costs about as much as counterless (7% vs 9%)"})
+
+	fig16, err := r.Fig16()
+	if err != nil {
+		return rep, err
+	}
+	cl128 := meanOf(fig16, "counterlight-128")
+	cls128 := meanOf(fig16, "counterless-128")
+	cl256 := meanOf(fig16, "counterlight-256")
+	cls256 := meanOf(fig16, "counterless-256")
+	add(Check{"Fig16", "counter-light mean perf (AES-128)", 0.98, cl128, 0.02,
+		"headline: <=2% average slowdown"})
+	add(Check{"Fig16", "improvement over counterless (AES-128)", 0.086, cl128/cls128 - 1, 0.03,
+		"paper: 8.6%"})
+	add(Check{"Fig16", "improvement over counterless (AES-256)", 0.130, cl256/cls256 - 1, 0.04,
+		"paper: 13.0%; grows with AES latency"})
+
+	fig19, err := r.Fig19()
+	if err != nil {
+		return rep, err
+	}
+	add(Check{"Fig19", "energy/instr vs counterless", 0.949, meanOf(fig19, "normalized energy/instr"), 0.03,
+		"paper: 5.1% average energy saving"})
+
+	fig20, err := r.Fig20()
+	if err != nil {
+		return rep, err
+	}
+	add(Check{"Fig20", "counter-light ~ counterless under stress", 1.0,
+		meanOf(fig20, "counterlight") / meanOf(fig20, "counterless"), 0.06,
+		"paper: within 1.4% worst case; ours lands slightly ahead"})
+
+	fig21, err := r.Fig21()
+	if err != nil {
+		return rep, err
+	}
+	add(Check{"Fig21", "counterless WBs @6.4, th=10%", 1.00, meanOf(fig21, "th=10%@6.4"), 0.02,
+		"paper: 100%"})
+	add(Check{"Fig21", "counterless WBs @6.4, th=60%", 0.91, meanOf(fig21, "th=60%@6.4"), 0.10,
+		"paper: 91%"})
+	add(Check{"Fig21", "counterless WBs @6.4, th=80%", 0.70, meanOf(fig21, "th=80%@6.4"), 0.25,
+		"paper: ~70%; trend must be monotone"})
+
+	fig23, err := r.Fig23()
+	if err != nil {
+		return rep, err
+	}
+	add(Check{"Fig23", "regular counterless @25.6", 0.966, meanOf(fig23, "counterless@25.6"), 0.02,
+		"paper: 96.6%"})
+	add(Check{"Fig23", "regular counter-light @25.6", 0.995, meanOf(fig23, "counterlight@25.6"), 0.01,
+		"paper: 99.5%"})
+
+	abl, err := r.AblationNoSwitch()
+	if err != nil {
+		return rep, err
+	}
+	add(Check{"AblA", "omnetpp without switching (vs counterless)", 0.49, cellOf(abl, "omnetpp", "without switch"), 0.20,
+		"paper: omnetpp loses 51% without the dynamic switch"})
+
+	return rep, nil
+}

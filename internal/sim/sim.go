@@ -1,0 +1,67 @@
+// Package sim provides the discrete-event kernel of the simulator: a
+// deterministic time-ordered event queue. Ties at the same timestamp
+// are broken by insertion order, so multi-core interleavings are fully
+// reproducible for a given seed.
+package sim
+
+import "container/heap"
+
+// Queue is a time-ordered priority queue of payloads of type T.
+// The zero value is ready to use.
+type Queue[T any] struct {
+	h eventHeap[T]
+	n uint64 // insertion sequence for deterministic tie-breaks
+}
+
+type event[T any] struct {
+	time    int64
+	seq     uint64
+	payload T
+}
+
+type eventHeap[T any] []event[T]
+
+func (h eventHeap[T]) Len() int { return len(h) }
+func (h eventHeap[T]) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap[T]) Push(x any)   { *h = append(*h, x.(event[T])) }
+func (h *eventHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Push schedules payload at the given time.
+func (q *Queue[T]) Push(time int64, payload T) {
+	q.n++
+	heap.Push(&q.h, event[T]{time: time, seq: q.n, payload: payload})
+}
+
+// Pop removes and returns the earliest event. ok is false when empty.
+func (q *Queue[T]) Pop() (time int64, payload T, ok bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	e := heap.Pop(&q.h).(event[T])
+	return e.time, e.payload, true
+}
+
+// Peek returns the earliest event without removing it.
+func (q *Queue[T]) Peek() (time int64, payload T, ok bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	return q.h[0].time, q.h[0].payload, true
+}
+
+// Len returns the number of pending events.
+func (q *Queue[T]) Len() int { return len(q.h) }

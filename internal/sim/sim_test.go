@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue[int]
+	if _, _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue returned ok")
+	}
+	if _, _, ok := q.Peek(); ok {
+		t.Error("Peek on empty queue returned ok")
+	}
+	if q.Len() != 0 {
+		t.Error("empty queue has nonzero length")
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	var q Queue[string]
+	q.Push(30, "c")
+	q.Push(10, "a")
+	q.Push(20, "b")
+	var got []string
+	for {
+		_, v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("order = %v", got)
+	}
+}
+
+// Equal timestamps pop in insertion order (determinism).
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(42, i)
+	}
+	for i := 0; i < 100; i++ {
+		_, v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d (ok=%v)", i, v, ok)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue[int]
+	q.Push(5, 99)
+	tm, v, ok := q.Peek()
+	if !ok || tm != 5 || v != 99 {
+		t.Fatalf("Peek = (%d,%d,%v)", tm, v, ok)
+	}
+	if q.Len() != 1 {
+		t.Error("Peek removed the event")
+	}
+}
+
+func TestRandomizedOrdering(t *testing.T) {
+	var q Queue[int64]
+	rng := rand.New(rand.NewSource(80))
+	times := make([]int64, 1000)
+	for i := range times {
+		times[i] = int64(rng.Intn(10000))
+		q.Push(times[i], times[i])
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for i := range times {
+		tm, v, ok := q.Pop()
+		if !ok || tm != times[i] || v != times[i] {
+			t.Fatalf("pop %d: got (%d,%d), want %d", i, tm, v, times[i])
+		}
+	}
+}
+
+// Interleaved push/pop keeps the heap invariant.
+func TestInterleaved(t *testing.T) {
+	var q Queue[int64]
+	rng := rand.New(rand.NewSource(81))
+	last := int64(-1)
+	inFlight := 0
+	for i := 0; i < 10000; i++ {
+		if inFlight == 0 || rng.Intn(2) == 0 {
+			// Push something at or after the last popped time to
+			// mimic event-driven causality.
+			q.Push(last+int64(rng.Intn(100))+1, 0)
+			inFlight++
+		} else {
+			tm, _, ok := q.Pop()
+			if !ok {
+				t.Fatal("unexpected empty")
+			}
+			if tm < last {
+				t.Fatalf("time went backwards: %d after %d", tm, last)
+			}
+			last = tm
+			inFlight--
+		}
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var q Queue[int]
+	for i := 0; i < b.N; i++ {
+		q.Push(int64(i%977), i)
+		if q.Len() > 64 {
+			q.Pop()
+		}
+	}
+}

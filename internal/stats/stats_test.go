@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(); err == nil {
+		t.Error("want error for no edges")
+	}
+	if _, err := NewHistogram(5, 5); err == nil {
+		t.Error("want error for non-ascending edges")
+	}
+	if _, err := NewHistogram(10, 5); err == nil {
+		t.Error("want error for descending edges")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bins: (-inf,0) [0,10) [10,20) [20,+inf)
+	for _, v := range []int64{-5, -1} {
+		h.Add(v)
+	}
+	for _, v := range []int64{0, 5, 9} {
+		h.Add(v)
+	}
+	h.Add(10)
+	for _, v := range []int64{20, 100} {
+		h.Add(v)
+	}
+	want := []uint64{2, 3, 1, 2}
+	got := h.Bins()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bin %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d, want 8", h.Total())
+	}
+}
+
+func TestHistogramFractions(t *testing.T) {
+	h, _ := NewHistogram(0)
+	if f := h.Fractions(); f[0] != 0 || f[1] != 0 {
+		t.Error("empty histogram fractions must be zero")
+	}
+	h.Add(-1)
+	h.Add(1)
+	h.Add(2)
+	f := h.Fractions()
+	if math.Abs(f[0]-1.0/3) > 1e-12 || math.Abs(f[1]-2.0/3) > 1e-12 {
+		t.Errorf("fractions = %v", f)
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	h, _ := NewHistogram(0, 10)
+	h.Add(-5) // bin 0
+	h.Add(5)  // bin 1
+	h.Add(15) // bin 2
+	h.Add(25) // bin 2
+	if got := h.FractionAbove(10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FractionAbove(10) = %v, want 0.5", got)
+	}
+	if got := h.FractionAbove(0); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("FractionAbove(0) = %v, want 0.75", got)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h, _ := NewHistogram(0, 10)
+	h.Add(5)
+	s := h.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 {
+		t.Error("empty mean must be 0")
+	}
+	for _, v := range []int64{10, -5, 20} {
+		a.Add(v)
+	}
+	if a.N != 3 || a.Sum != 25 || a.Min != -5 || a.Max != 20 {
+		t.Errorf("accumulator = %+v", a)
+	}
+	if math.Abs(a.Mean()-25.0/3) > 1e-12 {
+		t.Errorf("mean = %v", a.Mean())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean must be 0")
+	}
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", g)
+	}
+	if g := GeoMean([]float64{1, 1, 1}); math.Abs(g-1) > 1e-12 {
+		t.Errorf("GeoMean(1,1,1) = %v", g)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("non-positive values must yield 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean must be 0")
+	}
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-12 {
+		t.Errorf("Mean = %v", m)
+	}
+}

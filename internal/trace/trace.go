@@ -1,0 +1,642 @@
+// Package trace generates the memory access streams of the paper's
+// workloads. The real evaluation runs GraphBIG kernels on a
+// Facebook-like graph plus SPEC2017/PARSEC irregular benchmarks
+// (canneal, streamcluster, omnetpp, mcf) and a regular SPEC set; those
+// binaries and inputs are not reproducible here, so each workload is
+// replaced by a generator that reproduces the properties the paper's
+// results depend on:
+//
+//   - footprint relative to the 8 MB LLC (drives LLC miss rate),
+//   - spatial locality (drives row-buffer hits, prefetcher coverage,
+//     and counter-cache hit rate — the regular/irregular divide),
+//   - read/write mix (drives writeback traffic, e.g. omnetpp's heavy
+//     writes vs streamcluster's ≤1% writeback ratio),
+//   - load dependence (drives memory-level parallelism: pointer
+//     chasing exposes the full miss latency).
+//
+// Graph kernels walk a real synthetic power-law graph in CSR form so
+// repeated traversals see stable, cacheable neighbor sets.
+package trace
+
+import (
+	"math/rand"
+)
+
+// Class partitions workloads the way the evaluation does.
+type Class int
+
+const (
+	// Irregular workloads are the paper's primary set (Figs. 5, 16-22).
+	Irregular Class = iota
+	// Regular workloads are the Fig. 23 sensitivity set.
+	Regular
+	// Micro is the §III pointer-chasing microbenchmark.
+	Micro
+)
+
+// Op is one unit of work: optional compute time followed by one memory
+// access.
+type Op struct {
+	Think     int64  // compute time in ps before the access
+	Addr      uint64 // byte address
+	Write     bool
+	Dependent bool   // address depended on the previous load (no MLP)
+	PC        uint64 // synthetic program counter (prefetcher stream id)
+	Instr     uint64 // instructions this op retires (compute + 1 memory)
+}
+
+// Stream produces an infinite, deterministic op sequence for one core.
+// now is the core's current simulated time in picoseconds; most
+// generators ignore it, but phase-modulated workloads use it so that
+// phase boundaries fall at the same wall-clock instants under every
+// scheme (otherwise normalized performance would compare different
+// phase mixes).
+type Stream interface {
+	Next(now int64) Op
+}
+
+// Workload names a benchmark and builds per-core streams.
+type Workload struct {
+	Name  string
+	Class Class
+	// NewStreams returns one stream per core. Streams from one call
+	// may share state (e.g. the graph workloads share one graph, as
+	// GraphBIG runs multi-threaded); separate calls are independent.
+	NewStreams func(seed int64, cores int) []Stream
+}
+
+const (
+	blockSize = 64
+	// instrPS is the compute time per instruction at 3.2 GHz, CPI 1.
+	instrPS = 312
+	// privateBase spaces multi-programmed instances 16 GB apart.
+	privateBase = uint64(1) << 34
+	sharedBase  = uint64(1) << 33
+)
+
+func instrsFor(think int64) uint64 { return 1 + uint64(think/instrPS) }
+
+// ---------------------------------------------------------------------------
+// Pointer chasing (mcf stand-in and the §III microbenchmark)
+// ---------------------------------------------------------------------------
+
+// lcgChase walks blocks of a region in a full-period LCG order,
+// making every load's address depend on the previous load.
+type lcgChase struct {
+	base   uint64
+	blocks uint64
+	cur    uint64
+	mul    uint64
+	inc    uint64
+	think  int64
+	write  func(*rand.Rand) bool
+	rng    *rand.Rand
+	pc     uint64
+}
+
+func newLCGChase(base, footprint uint64, think int64, seed int64, writeFrac float64, pc uint64) *lcgChase {
+	blocks := footprint / blockSize
+	rng := rand.New(rand.NewSource(seed))
+	c := &lcgChase{
+		base:   base,
+		blocks: blocks,
+		cur:    rng.Uint64(),
+		// Knuth's MMIX constants give a full-period LCG over the whole
+		// uint64 state; the emitted block index is state mod blocks, so
+		// the walk never falls into a short cycle regardless of the
+		// footprint's block count.
+		mul:   6364136223846793005,
+		inc:   1442695040888963407,
+		think: think,
+		rng:   rng,
+		pc:    pc,
+	}
+	if writeFrac > 0 {
+		c.write = func(r *rand.Rand) bool { return r.Float64() < writeFrac }
+	}
+	return c
+}
+
+func (c *lcgChase) Next(_ int64) Op {
+	c.cur = c.cur*c.mul + c.inc
+	w := false
+	if c.write != nil {
+		w = c.write(c.rng)
+	}
+	return Op{
+		Think:     c.think,
+		Addr:      c.base + c.cur%c.blocks*blockSize,
+		Write:     w,
+		Dependent: true,
+		PC:        c.pc,
+		Instr:     instrsFor(c.think),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Random mix (canneal / omnetpp / streamcluster stand-ins)
+// ---------------------------------------------------------------------------
+
+// randomMix issues uniformly random block accesses with a configurable
+// write fraction, dependence fraction, and think time.
+type randomMix struct {
+	base      uint64
+	blocks    uint64
+	writeFrac float64
+	depFrac   float64
+	think     int64
+	rng       *rand.Rand
+	pc        uint64
+}
+
+func (m *randomMix) Next(_ int64) Op {
+	think := m.think/2 + int64(m.rng.Intn(int(m.think)+1))
+	return Op{
+		Think:     think,
+		Addr:      m.base + uint64(m.rng.Int63n(int64(m.blocks)))*blockSize,
+		Write:     m.rng.Float64() < m.writeFrac,
+		Dependent: m.rng.Float64() < m.depFrac,
+		PC:        m.pc + uint64(m.rng.Intn(8)), // several interleaved streams
+		Instr:     instrsFor(think),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Graph workloads (GraphBIG stand-ins on a synthetic power-law graph)
+// ---------------------------------------------------------------------------
+
+// Graph is a CSR graph with a power-law degree distribution, standing
+// in for the Facebook-like dataset of the paper.
+type Graph struct {
+	Offsets []uint32 // V+1
+	Edges   []uint32 // E neighbor ids
+	V       int
+}
+
+// GenGraph builds a deterministic power-law graph: a few hub vertices
+// with huge degree and a long tail, like social networks.
+func GenGraph(v, avgDeg int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	deg := make([]int, v)
+	total := 0
+	for i := range deg {
+		// Pareto-ish: most vertices small, a few huge, mean ~avgDeg.
+		d := 1 + int(float64(avgDeg)*0.6/(rng.Float64()*0.97+0.03))
+		if d > v/10 {
+			d = v / 10
+		}
+		deg[i] = d
+		total += d
+	}
+	g := &Graph{
+		Offsets: make([]uint32, v+1),
+		Edges:   make([]uint32, total),
+		V:       v,
+	}
+	pos := 0
+	for i := 0; i < v; i++ {
+		g.Offsets[i] = uint32(pos)
+		for j := 0; j < deg[i]; j++ {
+			g.Edges[pos] = uint32(rng.Intn(v))
+			pos++
+		}
+	}
+	g.Offsets[v] = uint32(pos)
+	return g
+}
+
+// Degree returns vertex v's out-degree.
+func (g *Graph) Degree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// graphKernelParams differentiates the GraphBIG kernels.
+type graphKernelParams struct {
+	neighborData   bool    // read 64B of per-neighbor vertex data (random access)
+	neighborPairs  bool    // also read a second random neighbor (triangle counting)
+	writePerVertex float64 // probability of writing own vertex data after a vertex
+	writePerEdge   float64 // probability of writing neighbor data per edge (e.g. CC label push)
+	think          int64   // compute per edge
+}
+
+// graphWalk iterates the core's partition of vertices, visiting edges.
+// Address map: vertex data (64 B records), offsets (4 B), edges (4 B)
+// live in disjoint regions above sharedBase.
+type graphWalk struct {
+	g       *Graph
+	p       graphKernelParams
+	rng     *rand.Rand
+	core    int
+	cores   int
+	v       int // current vertex (within partition)
+	e       int // next edge index of v
+	end     int
+	pending []Op
+}
+
+const (
+	vtxDataOff = uint64(0)
+	offsetsOff = uint64(1) << 31
+	edgesOff   = uint64(1)<<31 + uint64(1)<<29
+)
+
+func (w *graphWalk) vertexAddr(v int) uint64 {
+	return sharedBase + vtxDataOff + uint64(v)*blockSize
+}
+func (w *graphWalk) offsetAddr(v int) uint64 {
+	return sharedBase + offsetsOff + uint64(v)*4
+}
+func (w *graphWalk) edgeAddr(e int) uint64 {
+	return sharedBase + edgesOff + uint64(e)*4
+}
+
+func (w *graphWalk) Next(_ int64) Op {
+	for len(w.pending) == 0 {
+		w.fill()
+	}
+	op := w.pending[0]
+	w.pending = w.pending[1:]
+	return op
+}
+
+// fill expands the next edge (or vertex boundary) into ops.
+func (w *graphWalk) fill() {
+	if w.e >= w.end {
+		// Finish the old vertex: optional write of own data.
+		if w.end > 0 && w.rng.Float64() < w.p.writePerVertex {
+			w.pending = append(w.pending, Op{
+				Think: w.p.think,
+				Addr:  w.vertexAddr(w.v),
+				Write: true,
+				PC:    400,
+				Instr: instrsFor(w.p.think),
+			})
+		}
+		// Advance to the next vertex in this core's stripe.
+		w.v += w.cores
+		if w.v >= w.g.V {
+			w.v = w.core
+		}
+		w.e = int(w.g.Offsets[w.v])
+		w.end = int(w.g.Offsets[w.v+1])
+		// Read the offsets entry (sequential-ish across iterations).
+		w.pending = append(w.pending, Op{
+			Think: w.p.think,
+			Addr:  w.offsetAddr(w.v),
+			PC:    401,
+			Instr: instrsFor(w.p.think),
+		})
+		return
+	}
+	// Read the edge entry. GraphBIG's System G framework keeps
+	// adjacency in linked STL-style structures, so the edge read
+	// depends on the previous load (pointer-chasing traversal).
+	w.pending = append(w.pending, Op{
+		Think:     w.p.think,
+		Addr:      w.edgeAddr(w.e),
+		Dependent: true,
+		PC:        402,
+		Instr:     instrsFor(w.p.think),
+	})
+	u := int(w.g.Edges[w.e])
+	w.e++
+	if w.p.neighborData {
+		// ...then the neighbor's data: random, dependent on the edge load.
+		w.pending = append(w.pending, Op{
+			Think:     w.p.think,
+			Addr:      w.vertexAddr(u),
+			Dependent: true,
+			Write:     w.rng.Float64() < w.p.writePerEdge,
+			PC:        403,
+			Instr:     instrsFor(w.p.think),
+		})
+	}
+	if w.p.neighborPairs && w.e < w.end {
+		// Triangle counting intersects adjacency lists: touch a second
+		// neighbor of the same vertex for the pairwise check.
+		u2 := int(w.g.Edges[w.e])
+		w.pending = append(w.pending, Op{
+			Think:     w.p.think,
+			Addr:      w.vertexAddr(u2),
+			Dependent: true,
+			PC:        404,
+			Instr:     instrsFor(w.p.think),
+		})
+	}
+}
+
+// sharedGraph caches one graph per (seed) so the four threads of a
+// workload share it, like GraphBIG's multi-threaded runs.
+func newGraphStreams(seed int64, cores int, p graphKernelParams) []Stream {
+	g := GenGraph(200_000, 30, seed)
+	out := make([]Stream, cores)
+	for c := 0; c < cores; c++ {
+		out[c] = &graphWalk{
+			g:     g,
+			p:     p,
+			rng:   rand.New(rand.NewSource(seed ^ int64(c)<<8)),
+			core:  c,
+			cores: cores,
+			v:     c - cores, // first fill() advances to vertex c
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Regular (streaming / stencil) workloads
+// ---------------------------------------------------------------------------
+
+// streamKernel reads one or more source arrays sequentially and
+// optionally writes a destination array — lbm/bwaves-like behaviour
+// that prefetchers largely cover. A small randFrac of accesses are
+// dependent random reads (index arrays, boundary lookups): even
+// "regular" SPEC workloads keep a residue of unprefetchable accesses,
+// which is where counterless encryption loses its few percent
+// (Fig. 23's 96.6%).
+type streamKernel struct {
+	base     uint64
+	arrays   int
+	stride   uint64 // bytes advanced per op within an array
+	size     uint64 // bytes per array
+	pos      uint64
+	arr      int
+	wrEvery  int // write the last array every n-th element (0 = never)
+	n        int
+	think    int64
+	randFrac float64
+	rng      *rand.Rand
+}
+
+func (s *streamKernel) Next(_ int64) Op {
+	if s.rng != nil && s.rng.Float64() < s.randFrac {
+		// Dependent random read into a side region (e.g. an index
+		// table larger than the LLC).
+		return Op{
+			Think:     s.think,
+			Addr:      s.base + s.size*uint64(s.arrays) + 1<<20 + uint64(s.rng.Int63n(int64(s.size)))/64*64,
+			Dependent: true,
+			PC:        599,
+			Instr:     instrsFor(s.think),
+		}
+	}
+	arrBase := s.base + uint64(s.arr)*(s.size+4096)
+	addr := arrBase + s.pos
+	write := false
+	if s.wrEvery > 0 && s.arr == s.arrays-1 {
+		s.n++
+		write = s.n%s.wrEvery == 0
+	}
+	op := Op{
+		Think: s.think,
+		Addr:  addr,
+		Write: write,
+		PC:    500 + uint64(s.arr),
+		Instr: instrsFor(s.think),
+	}
+	s.arr++
+	if s.arr >= s.arrays {
+		s.arr = 0
+		s.pos += s.stride
+		if s.pos >= s.size {
+			s.pos = 0
+		}
+	}
+	return op
+}
+
+// ---------------------------------------------------------------------------
+// Phase modulation
+// ---------------------------------------------------------------------------
+
+// phased alternates an inner stream between an active phase and a
+// lighter (compute-heavier) phase, in the way real applications move
+// between memory-bound and compute-bound regions. The light phases are
+// what give the epoch monitor (paper §IV-B) low-utilization epochs to
+// run counter-mode writebacks in, even when the active phases saturate
+// a 6.4 GB/s channel. Phases are a function of simulated time, so
+// every scheme sees the same phase boundaries and windowed
+// measurements stay comparable.
+type phased struct {
+	inner    Stream
+	periodPS int64   // full phase cycle in ps
+	duty     float64 // fraction of the cycle that is active
+	lightMul int64   // think multiplier during the light phase
+}
+
+func (p *phased) Next(now int64) Op {
+	op := p.inner.Next(now)
+	pos := now % p.periodPS
+	if float64(pos) >= p.duty*float64(p.periodPS) {
+		op.Think *= p.lightMul
+		op.Instr = instrsFor(op.Think)
+	}
+	return op
+}
+
+// withPhases wraps every stream of a factory in the standard phase
+// pattern: 500 µs cycles (five 100 µs epochs), 70% active.
+func withPhases(f func(int64, int) []Stream) func(int64, int) []Stream {
+	return func(seed int64, cores int) []Stream {
+		streams := f(seed, cores)
+		for i, s := range streams {
+			streams[i] = &phased{inner: s, periodPS: 500_000_000, duty: 0.7, lightMul: 8}
+		}
+		return streams
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Workload registry
+// ---------------------------------------------------------------------------
+
+func perCore(f func(core int, base uint64, seed int64) Stream) func(int64, int) []Stream {
+	return func(seed int64, cores int) []Stream {
+		out := make([]Stream, cores)
+		for c := 0; c < cores; c++ {
+			out[c] = f(c, uint64(c+1)*privateBase, seed^int64(c)*0x9e37)
+		}
+		return out
+	}
+}
+
+// MicroPointerChase is the §III microbenchmark: a 128 MB pointer chase
+// with one outstanding access and no compute.
+func MicroPointerChase() Workload {
+	return Workload{
+		Name:  "pchase128M",
+		Class: Micro,
+		NewStreams: perCore(func(core int, base uint64, seed int64) Stream {
+			return newLCGChase(base, 128<<20, 0, seed, 0, 100)
+		}),
+	}
+}
+
+// IrregularSet returns the paper's primary workload set: four GraphBIG
+// kernels plus canneal, streamcluster, omnetpp, and mcf stand-ins.
+func IrregularSet() []Workload {
+	return []Workload{
+		{
+			Name: "bfs", Class: Irregular,
+			NewStreams: withPhases(func(seed int64, cores int) []Stream {
+				return newGraphStreams(seed, cores, graphKernelParams{
+					neighborData:   true,
+					writePerVertex: 0.6, // frontier/visited updates
+					think:          2600,
+				})
+			}),
+		},
+		{
+			Name: "gcolor", Class: Irregular,
+			NewStreams: withPhases(func(seed int64, cores int) []Stream {
+				return newGraphStreams(seed, cores, graphKernelParams{
+					neighborData:   true,
+					writePerVertex: 1.0, // write own color once per vertex
+					think:          3000,
+				})
+			}),
+		},
+		{
+			Name: "ccomp", Class: Irregular,
+			NewStreams: withPhases(func(seed int64, cores int) []Stream {
+				return newGraphStreams(seed, cores, graphKernelParams{
+					neighborData:   true,
+					writePerVertex: 0.3,
+					writePerEdge:   0.10, // label propagation writes
+					think:          2400,
+				})
+			}),
+		},
+		{
+			Name: "dcentr", Class: Irregular,
+			NewStreams: withPhases(func(seed int64, cores int) []Stream {
+				return newGraphStreams(seed, cores, graphKernelParams{
+					neighborData:   true,
+					writePerVertex: 1.0,
+					think:          2200,
+				})
+			}),
+		},
+		{
+			Name: "canneal", Class: Irregular,
+			NewStreams: withPhases(perCore(func(core int, base uint64, seed int64) Stream {
+				return &randomMix{
+					base:      base,
+					blocks:    (48 << 20) / blockSize,
+					writeFrac: 0.30, // element swaps write both sides
+					depFrac:   0.5,
+					think:     1800,
+					rng:       rand.New(rand.NewSource(seed)),
+					pc:        200,
+				}
+			})),
+		},
+		{
+			Name: "streamcluster", Class: Irregular,
+			NewStreams: withPhases(perCore(func(core int, base uint64, seed int64) Stream {
+				return &randomMix{
+					base:      base,
+					blocks:    (40 << 20) / blockSize,
+					writeFrac: 0.002, // writebacks ≤1% of misses (§VI)
+					depFrac:   0.2,
+					think:     1350,
+					rng:       rand.New(rand.NewSource(seed)),
+					pc:        210,
+				}
+			})),
+		},
+		{
+			Name: "omnetpp", Class: Irregular,
+			NewStreams: withPhases(perCore(func(core int, base uint64, seed int64) Stream {
+				return &randomMix{
+					base:      base,
+					blocks:    (56 << 20) / blockSize,
+					writeFrac: 0.45, // event-queue churn: near write-per-read
+					depFrac:   0.6,
+					think:     1050,
+					rng:       rand.New(rand.NewSource(seed)),
+					pc:        220,
+				}
+			})),
+		},
+		{
+			Name: "mcf", Class: Irregular,
+			NewStreams: withPhases(perCore(func(core int, base uint64, seed int64) Stream {
+				return newLCGChase(base, 96<<20, 900, seed, 0.05, 230)
+			})),
+		},
+	}
+}
+
+// ExtendedGraphSet returns additional GraphBIG kernels beyond the
+// paper's four, useful for sensitivity studies: PageRank (score reads
+// and writes every vertex each sweep) and TriangleCount (pairwise
+// neighbor intersection, the most read-intensive kernel).
+func ExtendedGraphSet() []Workload {
+	return []Workload{
+		{
+			Name: "pagerank", Class: Irregular,
+			NewStreams: withPhases(func(seed int64, cores int) []Stream {
+				return newGraphStreams(seed, cores, graphKernelParams{
+					neighborData:   true,
+					writePerVertex: 1.0, // new rank written every sweep
+					writePerEdge:   0.0,
+					think:          2000,
+				})
+			}),
+		},
+		{
+			Name: "tcount", Class: Irregular,
+			NewStreams: withPhases(func(seed int64, cores int) []Stream {
+				return newGraphStreams(seed, cores, graphKernelParams{
+					neighborData:  true,
+					neighborPairs: true,
+					think:         1800,
+				})
+			}),
+		},
+	}
+}
+
+// RegularSet returns the Fig. 23 regular-access workloads.
+func RegularSet() []Workload {
+	return []Workload{
+		{
+			Name: "lbm", Class: Regular,
+			NewStreams: perCore(func(core int, base uint64, seed int64) Stream {
+				return &streamKernel{base: base, arrays: 2, stride: 64, size: 64 << 20, wrEvery: 2, think: 9000, randFrac: 0.05, rng: rand.New(rand.NewSource(seed))}
+			}),
+		},
+		{
+			Name: "bwaves", Class: Regular,
+			NewStreams: perCore(func(core int, base uint64, seed int64) Stream {
+				return &streamKernel{base: base, arrays: 3, stride: 64, size: 48 << 20, wrEvery: 3, think: 11000, randFrac: 0.04, rng: rand.New(rand.NewSource(seed))}
+			}),
+		},
+		{
+			Name: "fotonik3d", Class: Regular,
+			NewStreams: perCore(func(core int, base uint64, seed int64) Stream {
+				return &streamKernel{base: base, arrays: 4, stride: 128, size: 32 << 20, wrEvery: 4, think: 10000, randFrac: 0.06, rng: rand.New(rand.NewSource(seed))}
+			}),
+		},
+		{
+			Name: "roms", Class: Regular,
+			NewStreams: perCore(func(core int, base uint64, seed int64) Stream {
+				return &streamKernel{base: base, arrays: 2, stride: 64, size: 96 << 20, wrEvery: 2, think: 12000, randFrac: 0.03, rng: rand.New(rand.NewSource(seed))}
+			}),
+		},
+	}
+}
+
+// ByName finds a workload in the full registry.
+func ByName(name string) (Workload, bool) {
+	all := append(IrregularSet(), RegularSet()...)
+	all = append(all, ExtendedGraphSet()...)
+	all = append(all, MicroPointerChase())
+	for _, w := range all {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}

@@ -1,0 +1,317 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	irr := IrregularSet()
+	if len(irr) != 8 {
+		t.Errorf("irregular set has %d workloads, want 8", len(irr))
+	}
+	reg := RegularSet()
+	if len(reg) != 4 {
+		t.Errorf("regular set has %d workloads, want 4", len(reg))
+	}
+	names := map[string]bool{}
+	for _, w := range append(irr, reg...) {
+		if names[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		names[w.Name] = true
+	}
+	for _, want := range []string{"bfs", "gcolor", "omnetpp", "mcf", "streamcluster", "canneal", "lbm"} {
+		if !names[want] {
+			t.Errorf("workload %q missing", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if w, ok := ByName("omnetpp"); !ok || w.Name != "omnetpp" {
+		t.Error("ByName(omnetpp) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) succeeded")
+	}
+	if w, ok := ByName("pchase128M"); !ok || w.Class != Micro {
+		t.Error("microbenchmark not registered")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, w := range append(IrregularSet(), RegularSet()...) {
+		s1 := w.NewStreams(42, 4)
+		s2 := w.NewStreams(42, 4)
+		for c := 0; c < 4; c++ {
+			for i := 0; i < 200; i++ {
+				a, b := s1[c].Next(0), s2[c].Next(0)
+				if a != b {
+					t.Fatalf("%s core %d op %d: %+v != %+v", w.Name, c, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	w, _ := ByName("canneal")
+	s1 := w.NewStreams(1, 1)[0]
+	s2 := w.NewStreams(2, 1)[0]
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s1.Next(0).Addr == s2.Next(0).Addr {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("two seeds produced %d/100 identical addresses", same)
+	}
+}
+
+// Multi-programmed workloads must keep cores in disjoint regions;
+// graph workloads must share theirs.
+func TestAddressSharing(t *testing.T) {
+	footprint := func(w Workload) [4]map[uint64]bool {
+		streams := w.NewStreams(7, 4)
+		var seen [4]map[uint64]bool
+		for c := range streams {
+			seen[c] = map[uint64]bool{}
+			for i := 0; i < 5000; i++ {
+				seen[c][streams[c].Next(0).Addr/(1<<30)] = true // 1 GB granules
+			}
+		}
+		return seen
+	}
+	mcf, _ := ByName("mcf")
+	seen := footprint(mcf)
+	for c := 1; c < 4; c++ {
+		for g := range seen[c] {
+			if seen[0][g] {
+				t.Errorf("mcf cores 0 and %d share GB-granule %d", c, g)
+			}
+		}
+	}
+	bfs, _ := ByName("bfs")
+	seen = footprint(bfs)
+	shared := false
+	for g := range seen[1] {
+		if seen[0][g] {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Error("bfs cores do not share the graph region")
+	}
+}
+
+// The workload classes must differ in measurable ways that the paper
+// depends on: write ratios and dependence.
+func TestWorkloadCharacter(t *testing.T) {
+	mix := func(name string, n int) (writeFrac, depFrac float64) {
+		w, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		s := w.NewStreams(3, 4)
+		writes, deps := 0, 0
+		for c := 0; c < 4; c++ {
+			for i := 0; i < n; i++ {
+				op := s[c].Next(0)
+				if op.Write {
+					writes++
+				}
+				if op.Dependent {
+					deps++
+				}
+			}
+		}
+		total := float64(4 * n)
+		return float64(writes) / total, float64(deps) / total
+	}
+
+	wOmnet, _ := mix("omnetpp", 5000)
+	wStream, _ := mix("streamcluster", 5000)
+	if wOmnet < 0.3 {
+		t.Errorf("omnetpp write fraction = %.3f, want heavy writes", wOmnet)
+	}
+	if wStream > 0.01 {
+		t.Errorf("streamcluster write fraction = %.3f, want ~0", wStream)
+	}
+	_, dMcf := mix("mcf", 5000)
+	if dMcf < 0.99 {
+		t.Errorf("mcf dependence = %.3f, want 1.0 (pointer chase)", dMcf)
+	}
+	wGc, _ := mix("gcolor", 20000)
+	if wGc > 0.2 {
+		t.Errorf("gcolor write fraction = %.3f, want small (one write per vertex)", wGc)
+	}
+}
+
+// Regular workloads must be sequential (small positive strides), and
+// the microbenchmark fully dependent with zero think time.
+func TestRegularSequentiality(t *testing.T) {
+	w, _ := ByName("lbm")
+	s := w.NewStreams(1, 1)[0]
+	// Track per-PC last addresses; strides within a streaming PC must
+	// be constant. PC 599 is the documented random-residue stream
+	// (about 5% of ops) and is excluded.
+	last := map[uint64]uint64{}
+	irregular, randomOps := 0, 0
+	for i := 0; i < 10000; i++ {
+		op := s.Next(0)
+		if op.PC == 599 {
+			randomOps++
+			continue
+		}
+		if prev, ok := last[op.PC]; ok {
+			stride := int64(op.Addr) - int64(prev)
+			if stride < 0 || stride > 1024 {
+				irregular++
+			}
+		}
+		last[op.PC] = op.Addr
+	}
+	if irregular > 100 { // allow array wrap-arounds
+		t.Errorf("lbm produced %d irregular strides in 10000 ops", irregular)
+	}
+	if randomOps < 200 || randomOps > 1200 {
+		t.Errorf("random residue = %d ops, want ~5%%", randomOps)
+	}
+}
+
+func TestMicroBenchmark(t *testing.T) {
+	w := MicroPointerChase()
+	s := w.NewStreams(1, 1)[0]
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		op := s.Next(0)
+		if !op.Dependent {
+			t.Fatal("microbenchmark op not dependent")
+		}
+		if op.Think != 0 {
+			t.Fatal("microbenchmark has think time")
+		}
+		if op.Write {
+			t.Fatal("microbenchmark writes")
+		}
+		seen[op.Addr] = true
+	}
+	// A 128 MB chase must touch many distinct blocks quickly.
+	if len(seen) < 9000 {
+		t.Errorf("only %d distinct addresses in 10000 dependent loads", len(seen))
+	}
+}
+
+func TestGenGraph(t *testing.T) {
+	g := GenGraph(1000, 10, 1)
+	if g.V != 1000 {
+		t.Errorf("V = %d", g.V)
+	}
+	if int(g.Offsets[g.V]) != len(g.Edges) {
+		t.Error("offsets inconsistent with edge count")
+	}
+	totalDeg := 0
+	maxDeg := 0
+	for v := 0; v < g.V; v++ {
+		d := g.Degree(v)
+		if d < 1 {
+			t.Fatalf("vertex %d has degree %d", v, d)
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+		totalDeg += d
+	}
+	avg := float64(totalDeg) / float64(g.V)
+	if avg < 3 || avg > 60 {
+		t.Errorf("average degree = %.1f, want near 10", avg)
+	}
+	// Power law: the max degree should far exceed the average. (The
+	// V/10 degree cap truncates the tail for this small test graph.)
+	if float64(maxDeg) < 4*avg {
+		t.Errorf("max degree %d not heavy-tailed vs avg %.1f", maxDeg, avg)
+	}
+	for _, e := range g.Edges {
+		if int(e) >= g.V {
+			t.Fatal("edge endpoint out of range")
+		}
+	}
+}
+
+func TestInstrAccounting(t *testing.T) {
+	w, _ := ByName("canneal")
+	s := w.NewStreams(1, 1)[0]
+	for i := 0; i < 100; i++ {
+		op := s.Next(0)
+		if op.Instr == 0 {
+			t.Fatal("op retires zero instructions")
+		}
+		if op.Think < 0 {
+			t.Fatal("negative think time")
+		}
+	}
+}
+
+func BenchmarkGraphWalk(b *testing.B) {
+	w, _ := ByName("bfs")
+	s := w.NewStreams(1, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s[i%4].Next(0)
+	}
+}
+
+func BenchmarkRandomMix(b *testing.B) {
+	w, _ := ByName("canneal")
+	s := w.NewStreams(1, 1)[0]
+	for i := 0; i < b.N; i++ {
+		s.Next(0)
+	}
+}
+
+func TestExtendedGraphSet(t *testing.T) {
+	ext := ExtendedGraphSet()
+	if len(ext) != 2 {
+		t.Fatalf("extended set has %d workloads", len(ext))
+	}
+	for _, name := range []string{"pagerank", "tcount"} {
+		w, ok := ByName(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		s := w.NewStreams(5, 2)
+		for c := range s {
+			for i := 0; i < 1000; i++ {
+				op := s[c].Next(0)
+				if op.Instr == 0 {
+					t.Fatalf("%s: zero-instruction op", name)
+				}
+			}
+		}
+	}
+	// Triangle counting must touch pairs: PC 404 ops exist.
+	w, _ := ByName("tcount")
+	s := w.NewStreams(5, 1)[0]
+	pairs := 0
+	for i := 0; i < 5000; i++ {
+		if s.Next(0).PC == 404 {
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		t.Error("tcount issued no pairwise neighbor reads")
+	}
+	// PageRank writes every vertex.
+	w, _ = ByName("pagerank")
+	s = w.NewStreams(5, 1)[0]
+	writes := 0
+	for i := 0; i < 20000; i++ {
+		if s.Next(0).Write {
+			writes++
+		}
+	}
+	if writes == 0 {
+		t.Error("pagerank issued no writes")
+	}
+}
