@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the pre-commit gate.
+
+GO ?= go
+
+.PHONY: build test race vet fmt check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector roughly 10x-es the simulator tests; -short keeps
+# the slow probes out.
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: fmt vet build race
+
+clean:
+	$(GO) clean ./...

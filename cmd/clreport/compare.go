@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"counterlight/internal/obs"
+)
+
+// compareSnapshots ingests metrics-JSON snapshots written by
+// `clsim -metrics-json` and prints a per-scheme comparison table: one
+// row per metric, one column per (file, scheme) pair. A single file
+// can contribute several columns when its registry holds series for
+// more than one scheme (e.g. a `clsim -baseline` run).
+func compareSnapshots(paths []string) error {
+	type cell struct {
+		val float64
+		set bool
+	}
+	cols := []string{} // column keys, in first-seen order
+	colSeen := map[string]bool{}
+	rows := map[string]map[string]cell{} // row key -> column key -> value
+
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		snap, err := obs.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		base := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		for _, s := range snap.Series {
+			col := base
+			if scheme, ok := s.Labels["scheme"]; ok {
+				col = base + "/" + scheme
+			}
+			if !colSeen[col] {
+				colSeen[col] = true
+				cols = append(cols, col)
+			}
+			// The row identity is the series minus its scheme label, so
+			// the same metric lines up across schemes and files.
+			row := rowKey(s)
+			if rows[row] == nil {
+				rows[row] = map[string]cell{}
+			}
+			rows[row][col] = cell{val: s.Value, set: true}
+		}
+	}
+
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Column widths: metric name column then one per snapshot column.
+	w0 := len("metric")
+	for _, k := range keys {
+		if len(k) > w0 {
+			w0 = len(k)
+		}
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+		for _, k := range keys {
+			if v := formatCell(rows[k][c].val, rows[k][c].set); len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+
+	fmt.Printf("%-*s", w0, "metric")
+	for i, c := range cols {
+		fmt.Printf("  %*s", widths[i], c)
+	}
+	fmt.Println()
+	for _, k := range keys {
+		fmt.Printf("%-*s", w0, k)
+		for i, c := range cols {
+			fmt.Printf("  %*s", widths[i], formatCell(rows[k][c].val, rows[k][c].set))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// rowKey renders a series name plus its non-scheme labels.
+func rowKey(s obs.Series) string {
+	lk := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		if k != "scheme" {
+			lk = append(lk, k)
+		}
+	}
+	if len(lk) == 0 {
+		return s.Name
+	}
+	sort.Strings(lk)
+	parts := make([]string, len(lk))
+	for i, k := range lk {
+		parts[i] = k + "=" + s.Labels[k]
+	}
+	return s.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatCell(v float64, set bool) string {
+	if !set {
+		return "-"
+	}
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -6,6 +6,7 @@
 //
 //	clreport          # full windows (the numbers EXPERIMENTS.md cites)
 //	clreport -quick   # halved windows, ~2x faster
+//	clreport -compare a.json b.json   # diff clsim -metrics-json snapshots
 package main
 
 import (
@@ -20,7 +21,20 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "halve the simulation windows")
 	verbose := flag.Bool("v", false, "log each simulation run")
+	compare := flag.Bool("compare", false, "compare clsim -metrics-json snapshot files instead of running the scorecard")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "clreport: -compare needs at least one metrics JSON file")
+			os.Exit(2)
+		}
+		if err := compareSnapshots(flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "clreport: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	r := figures.NewRunner(*quick)
 	if *verbose {

@@ -12,9 +12,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"counterlight/internal/core"
+	"counterlight/internal/obs"
 	"counterlight/internal/trace"
 )
 
@@ -30,6 +34,13 @@ func main() {
 	list := flag.Bool("list", false, "list workloads and exit")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	baseline := flag.Bool("baseline", false, "also run the no-encryption baseline and report normalized performance")
+	metricsFile := flag.String("metrics", "", "write a Prometheus-text metrics snapshot to this file")
+	metricsJSON := flag.String("metrics-json", "", "write a JSON metrics snapshot to this file (clreport -compare input)")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file (load in Perfetto / chrome://tracing)")
+	traceCap := flag.Int("trace-depth", obs.DefaultTraceCap, "trace ring-buffer capacity in events (oldest evicted on overflow)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+	progress := flag.Bool("progress", false, "print a periodic progress line (sim-time, IPC, epoch mode) on stderr")
 	flag.Parse()
 
 	if *list {
@@ -73,12 +84,51 @@ func main() {
 		cfg = cfg.WithAES256()
 	}
 
+	// Observability: one observer serves the whole invocation. The
+	// metrics registry is shared across runs (series carry a scheme
+	// label); the trace ring records only the primary run so the
+	// timeline stays a single, coherent stream.
+	var observer *obs.Observer
+	if *metricsFile != "" || *metricsJSON != "" || *traceFile != "" {
+		cap := 0
+		if *traceFile != "" {
+			if *traceCap <= 0 {
+				fmt.Fprintf(os.Stderr, "clsim: -trace-depth must be positive (got %d)\n", *traceCap)
+				os.Exit(2)
+			}
+			cap = *traceCap
+		}
+		observer = obs.NewObserver(cap)
+		cfg.Obs = observer
+	}
+	if *progress {
+		cfg.Progress = progressLine
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "clsim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	res, err := core.Run(cfg, w)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clsim: %v\n", err)
 		os.Exit(1)
 	}
-	if *asJSON {
+	if *progress {
+		fmt.Fprintln(os.Stderr) // finish the \r progress line
+	}
+	switch {
+	case *asJSON:
 		out := jsonResult{
 			Workload:       res.Workload,
 			Scheme:         res.Scheme.String(),
@@ -105,20 +155,95 @@ func main() {
 			fmt.Fprintf(os.Stderr, "clsim: %v\n", err)
 			os.Exit(1)
 		}
-		return
-	}
-	printResult(res)
+	default:
+		printResult(res)
 
-	if *baseline {
-		cfg.Scheme = core.NoEnc
-		base, err := core.Run(cfg, w)
+		if *baseline {
+			bcfg := cfg
+			bcfg.Scheme = core.NoEnc
+			if observer != nil {
+				// Share the registry (series are scheme-labeled) but not
+				// the trace: a second timeline would corrupt the file.
+				bcfg.Obs = &obs.Observer{Metrics: observer.Metrics}
+			}
+			base, err := core.Run(bcfg, w)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clsim: baseline: %v\n", err)
+				os.Exit(1)
+			}
+			if *progress {
+				fmt.Fprintln(os.Stderr)
+			}
+			fmt.Printf("\nnormalized performance vs no encryption: %.3f\n", res.PerfNormalizedTo(base))
+			fmt.Printf("LLC miss latency overhead: %+.1f ns\n", res.AvgMissLatNS-base.AvgMissLatNS)
+		}
+	}
+
+	if observer != nil {
+		snap := observer.Metrics.Snapshot()
+		if *metricsFile != "" {
+			writeSnapshot(*metricsFile, snap, obs.Snapshot.WritePrometheus)
+		}
+		if *metricsJSON != "" {
+			writeSnapshot(*metricsJSON, snap, obs.Snapshot.WriteJSON)
+		}
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err == nil {
+				err = observer.Trace.WriteChromeTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clsim: trace: %v\n", err)
+				os.Exit(1)
+			}
+			if n := observer.Trace.Dropped(); n > 0 {
+				fmt.Fprintf(os.Stderr, "clsim: trace ring overflowed; dropped %d oldest events (raise -trace-depth)\n", n)
+			}
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err == nil {
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "clsim: baseline: %v\n", err)
+			fmt.Fprintf(os.Stderr, "clsim: memprofile: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nnormalized performance vs no encryption: %.3f\n", res.PerfNormalizedTo(base))
-		fmt.Printf("LLC miss latency overhead: %+.1f ns\n", res.AvgMissLatNS-base.AvgMissLatNS)
 	}
+}
+
+// writeSnapshot writes one exposition of the metrics snapshot to path.
+func writeSnapshot(path string, snap obs.Snapshot, write func(obs.Snapshot, io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(snap, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clsim: metrics: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// progressLine renders the periodic progress report on stderr,
+// overwriting itself with \r.
+func progressLine(p core.ProgressInfo) {
+	phase := "warmup"
+	if p.Measuring {
+		phase = "measure"
+	}
+	fmt.Fprintf(os.Stderr, "\r[%s] sim %8.2f ms  instr %12d  IPC %6.3f  mode %-11s",
+		phase, float64(p.SimPS)/1e9, p.Instructions, p.IPC, p.Mode)
 }
 
 // jsonResult is the stable machine-readable result shape.

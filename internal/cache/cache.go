@@ -10,7 +10,11 @@
 // latency for regular workloads (paper §III).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"counterlight/internal/obs"
+)
 
 // Line states are implicit: a line is valid if tag != invalidTag.
 const invalidTag = ^uint64(0)
@@ -31,14 +35,20 @@ type Stats struct {
 }
 
 // Cache is a single-level set-associative cache (tag store only; data
-// values live in the functional memory model).
+// values live in the functional memory model). Event counts live in
+// obs instruments so a registry can export them mid-run; Stats()
+// stays the legacy view over the same storage.
 type Cache struct {
 	sets      int
 	ways      int
 	blockSize uint64
 	lines     []line // sets*ways, row-major by set
 	useClock  uint64
-	stats     Stats
+
+	hits       obs.Counter
+	misses     obs.Counter
+	writebacks obs.Counter
+	evictions  obs.Counter
 }
 
 // New builds a cache of the given total size in bytes. size must be
@@ -71,11 +81,33 @@ func New(size, blockSize uint64, ways int) (*Cache, error) {
 func (c *Cache) Sets() int { return c.sets }
 func (c *Cache) Ways() int { return c.ways }
 
-// Stats returns a copy of the event counters.
-func (c *Cache) Stats() Stats { return c.stats }
+// Stats returns a copy of the event counters (a thin view over the
+// obs instruments).
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:       c.hits.Value(),
+		Misses:     c.misses.Value(),
+		Writebacks: c.writebacks.Value(),
+		Evictions:  c.evictions.Value(),
+	}
+}
 
 // ResetStats zeroes the counters (per measurement window).
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+func (c *Cache) ResetStats() {
+	c.hits.Reset()
+	c.misses.Reset()
+	c.writebacks.Reset()
+	c.evictions.Reset()
+}
+
+// RegisterMetrics exposes the cache's counters through a registry
+// under the given labels (e.g. level=l1, core=0).
+func (c *Cache) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.RegisterCounter("cache_hits_total", &c.hits, labels...)
+	reg.RegisterCounter("cache_misses_total", &c.misses, labels...)
+	reg.RegisterCounter("cache_writebacks_total", &c.writebacks, labels...)
+	reg.RegisterCounter("cache_evictions_total", &c.evictions, labels...)
+}
 
 func (c *Cache) setFor(addr uint64) (setBase int, tag uint64) {
 	blk := addr / c.blockSize
@@ -90,7 +122,7 @@ func (c *Cache) Lookup(addr uint64, now int64) (hit bool, readyAt int64) {
 	base, tag := c.setFor(addr)
 	for i := base; i < base+c.ways; i++ {
 		if c.lines[i].tag == tag {
-			c.stats.Hits++
+			c.hits.Inc()
 			c.useClock++
 			c.lines[i].lastUse = c.useClock
 			r := c.lines[i].readyAt
@@ -100,7 +132,7 @@ func (c *Cache) Lookup(addr uint64, now int64) (hit bool, readyAt int64) {
 			return true, r
 		}
 	}
-	c.stats.Misses++
+	c.misses.Inc()
 	return false, 0
 }
 
@@ -151,9 +183,9 @@ func (c *Cache) Insert(addr uint64, readyAt int64, dirty bool) (ev Eviction, evi
 		}
 	}
 	if c.lines[victim].tag != invalidTag {
-		c.stats.Evictions++
+		c.evictions.Inc()
 		if c.lines[victim].dirty {
-			c.stats.Writebacks++
+			c.writebacks.Inc()
 		}
 		ev = Eviction{
 			Addr:  c.addrOf(victim, c.lines[victim].tag),
@@ -177,7 +209,7 @@ func (c *Cache) Write(addr uint64, now int64) (hit bool, readyAt int64) {
 	base, tag := c.setFor(addr)
 	for i := base; i < base+c.ways; i++ {
 		if c.lines[i].tag == tag {
-			c.stats.Hits++
+			c.hits.Inc()
 			c.useClock++
 			c.lines[i].lastUse = c.useClock
 			c.lines[i].dirty = true
@@ -188,7 +220,7 @@ func (c *Cache) Write(addr uint64, now int64) (hit bool, readyAt int64) {
 			return true, r
 		}
 	}
-	c.stats.Misses++
+	c.misses.Inc()
 	return false, 0
 }
 

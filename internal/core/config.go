@@ -14,7 +14,12 @@
 //     Table I configures — used to regenerate the paper's figures.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"counterlight/internal/epoch"
+	"counterlight/internal/obs"
+)
 
 // Scheme selects the memory protection design under evaluation.
 type Scheme int
@@ -108,6 +113,33 @@ type Config struct {
 	WarmupTime int64
 	WindowTime int64
 	Seed       int64
+
+	// Observability. None of these affect simulated timing or event
+	// ordering; a run with and without them produces identical
+	// Results.
+	//
+	// Obs, when set, receives every subsystem's metrics (labeled
+	// scheme=<scheme>) in its registry, and — if its Trace is non-nil
+	// — the pipeline's sim-time event stream. When nil, Run uses a
+	// private observer so the Stats() views still work.
+	Obs *obs.Observer
+	// Progress, when set, is called roughly every ProgressEvery
+	// picoseconds of simulated time with a status sample (clsim's
+	// stderr progress line).
+	Progress func(ProgressInfo)
+	// ProgressEvery is the simulated time between Progress calls
+	// (default 1 ms).
+	ProgressEvery int64
+}
+
+// ProgressInfo is the periodic status sample handed to
+// Config.Progress.
+type ProgressInfo struct {
+	SimPS        int64      // current simulated time in ps
+	Measuring    bool       // inside the measurement window?
+	Instructions uint64     // instructions retired in the window so far
+	IPC          float64    // per-core IPC over the window so far
+	Mode         epoch.Mode // writeback mode currently in effect
 }
 
 // DefaultConfig returns Table I's configuration for the given scheme:

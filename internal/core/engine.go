@@ -9,6 +9,7 @@ import (
 	"counterlight/internal/entropy"
 	"counterlight/internal/epoch"
 	"counterlight/internal/memoize"
+	"counterlight/internal/obs"
 )
 
 // EngineOptions configures the functional engine.
@@ -62,7 +63,25 @@ type Engine struct {
 	// (counter-mode blocks all share the global key).
 	vmOf map[uint64]int
 
-	stats EngineStats
+	m      engineMetrics
+	tracer *obs.Tracer // optional; the functional engine has no sim
+	// clock, so events are stamped with the operation index instead
+	// of picoseconds.
+}
+
+// engineMetrics holds the functional-path event counts as obs
+// instruments; EngineStats stays the exported view type.
+type engineMetrics struct {
+	reads, writes     obs.Counter
+	counterModeWrites obs.Counter
+	counterlessWrites obs.Counter
+	memoHits          obs.Counter
+	memoMisses        obs.Counter
+	corrections       obs.Counter
+	entropyResolved   obs.Counter
+	dues              obs.Counter
+	macFailures       obs.Counter
+	eccTrials         *obs.Histogram // trials per correction-path read
 }
 
 // EngineStats counts functional-path events.
@@ -120,7 +139,13 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 	if opts.MemoEntries <= 0 {
 		opts.MemoEntries = 128
 	}
+	// Trials per correction: ~10 per hypothesis, 2 hypotheses.
+	eccTrials, err := obs.NewHistogram(10, 15, 20, 25)
+	if err != nil {
+		return nil, err
+	}
 	return &Engine{
+		m:                    engineMetrics{eccTrials: eccTrials},
 		opts:                 opts,
 		cls:                  cls,
 		cm:                   cm,
@@ -132,8 +157,51 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 	}, nil
 }
 
-// Stats returns a copy of the engine's counters.
-func (e *Engine) Stats() EngineStats { return e.stats }
+// Stats returns a copy of the engine's counters (a thin view over
+// the obs instruments).
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Reads:             e.m.reads.Value(),
+		Writes:            e.m.writes.Value(),
+		CounterModeWrites: e.m.counterModeWrites.Value(),
+		CounterlessWrites: e.m.counterlessWrites.Value(),
+		MemoHits:          e.m.memoHits.Value(),
+		MemoMisses:        e.m.memoMisses.Value(),
+		Corrections:       e.m.corrections.Value(),
+		EntropyResolved:   e.m.entropyResolved.Value(),
+		DUEs:              e.m.dues.Value(),
+		MACFailures:       e.m.macFailures.Value(),
+	}
+}
+
+// RegisterMetrics exposes the engine's counters through a registry
+// under the given labels.
+func (e *Engine) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.RegisterCounter("engine_reads_total", &e.m.reads, labels...)
+	reg.RegisterCounter("engine_writes_total", &e.m.writes, labels...)
+	reg.RegisterCounter("engine_counter_mode_writes_total", &e.m.counterModeWrites, labels...)
+	reg.RegisterCounter("engine_counterless_writes_total", &e.m.counterlessWrites, labels...)
+	reg.RegisterCounter("engine_memo_hits_total", &e.m.memoHits, labels...)
+	reg.RegisterCounter("engine_memo_misses_total", &e.m.memoMisses, labels...)
+	reg.RegisterCounter("engine_corrections_total", &e.m.corrections, labels...)
+	reg.RegisterCounter("engine_entropy_resolved_total", &e.m.entropyResolved, labels...)
+	reg.RegisterCounter("engine_dues_total", &e.m.dues, labels...)
+	reg.RegisterCounter("engine_mac_failures_total", &e.m.macFailures, labels...)
+	if e.m.eccTrials != nil {
+		reg.RegisterHistogram("engine_ecc_trials", e.m.eccTrials, labels...)
+	}
+}
+
+// SetTracer installs (or clears, with nil) the event tracer. Events
+// are stamped with the engine's operation index (reads+writes so
+// far), not picoseconds: the functional engine has no sim clock.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
+// opIndex is the engine's event timestamp: the number of operations
+// completed or in flight.
+func (e *Engine) opIndex() int64 {
+	return int64(e.m.reads.Value() + e.m.writes.Value())
+}
 
 // Counters exposes the counter store (tests exercise replay attacks
 // through it).
@@ -171,7 +239,7 @@ func (e *Engine) WriteAs(vm int, addr uint64, plain cipher.Block, mode epoch.Mod
 	if vm < 0 || vm >= len(e.cls) {
 		return fmt.Errorf("core: VM %d out of range [0,%d)", vm, len(e.cls))
 	}
-	e.stats.Writes++
+	e.m.writes.Inc()
 	e.vmOf[addr] = vm
 	if e.permanentCounterless[addr] {
 		mode = epoch.Counterless
@@ -190,6 +258,8 @@ func (e *Engine) WriteAs(vm int, addr uint64, plain cipher.Block, mode epoch.Mod
 			// (until "reboot"; §IV-C).
 			e.permanentCounterless[addr] = true
 			mode = epoch.Counterless
+			e.tracer.Emit(e.opIndex(), obs.PhaseInstant, obs.CatCtr, "counter_saturated",
+				obs.A("addr", int64(addr)), obs.A("counter", int64(next)))
 		} else {
 			if err := e.ctrs.Increment(addr, next); err != nil {
 				return fmt.Errorf("core: counter update: %w", err)
@@ -197,7 +267,7 @@ func (e *Engine) WriteAs(vm int, addr uint64, plain cipher.Block, mode epoch.Mod
 			ct := e.cm.Encrypt(uint64(next), addr, plain)
 			mac := e.cm.MAC(uint64(next), addr, plain, next)
 			e.mem[addr] = ecc.Encode(ct, mac, uint64(next))
-			e.stats.CounterModeWrites++
+			e.m.counterModeWrites.Inc()
 			return nil
 		}
 	}
@@ -206,7 +276,7 @@ func (e *Engine) WriteAs(vm int, addr uint64, plain cipher.Block, mode epoch.Mod
 	ct := cls.Encrypt(addr, plain)
 	mac := cls.MAC(addr, ct, uint32(ctrblock.CounterlessFlag))
 	e.mem[addr] = ecc.Encode(ct, mac, ctrblock.CounterlessFlag)
-	e.stats.CounterlessWrites++
+	e.m.counterlessWrites.Inc()
 	return nil
 }
 
@@ -238,7 +308,7 @@ func (e *Engine) Read(addr uint64) (cipher.Block, ReadInfo, error) {
 	if !ok {
 		return cipher.Block{}, info, fmt.Errorf("core: read of unwritten block %#x", addr)
 	}
-	e.stats.Reads++
+	e.m.reads.Inc()
 
 	// Fast path: decode EncryptionMetadata from the parity and check
 	// the mode-appropriate MAC.
@@ -250,12 +320,18 @@ func (e *Engine) Read(addr uint64) (cipher.Block, ReadInfo, error) {
 		info.MemoHit = memoHit
 		return plain, info, nil
 	}
-	e.stats.MACFailures++
+	e.m.macFailures.Inc()
 
 	// Correction path: two EncryptionMetadata hypotheses (Fig. 14).
 	res := ecc.Correct(cw, e.hypotheses(addr))
+	e.m.eccTrials.Add(int64(res.Trials))
+	e.tracer.Emit(e.opIndex(), obs.PhaseInstant, obs.CatECC, "correction_attempt",
+		obs.A("addr", int64(addr)), obs.A("trials", int64(res.Trials)),
+		obs.A("candidates", int64(len(res.Candidates))))
 	if res.OK {
-		e.stats.Corrections++
+		e.m.corrections.Inc()
+		e.tracer.Emit(e.opIndex(), obs.PhaseInstant, obs.CatECC, "hypothesis_chosen",
+			obs.A("hypothesis", int64(res.Hypothesis)), obs.A("bad_chip", int64(res.BadChip)))
 		plain, memoHit := e.decrypt(addr, res.Data, res.Meta)
 		info.Mode = modeOf(res.Meta)
 		info.MemoHit = memoHit
@@ -272,8 +348,11 @@ func (e *Engine) Read(addr uint64) (cipher.Block, ReadInfo, error) {
 		}
 		if pick := entropy.Classify(plains); pick >= 0 {
 			c := res.Candidates[pick]
-			e.stats.Corrections++
-			e.stats.EntropyResolved++
+			e.m.corrections.Inc()
+			e.m.entropyResolved.Inc()
+			e.tracer.Emit(e.opIndex(), obs.PhaseInstant, obs.CatECC, "hypothesis_chosen",
+				obs.A("hypothesis", int64(c.Hypothesis)), obs.A("bad_chip", int64(c.BadChip)),
+				obs.A("entropy_resolved", 1))
 			info.Mode = modeOf(c.Meta)
 			info.Corrected = true
 			info.EntropyResolved = true
@@ -281,7 +360,9 @@ func (e *Engine) Read(addr uint64) (cipher.Block, ReadInfo, error) {
 			return plains[pick], info, nil
 		}
 	}
-	e.stats.DUEs++
+	e.m.dues.Inc()
+	e.tracer.Emit(e.opIndex(), obs.PhaseInstant, obs.CatECC, "due",
+		obs.A("addr", int64(addr)), obs.A("candidates", int64(len(res.Candidates))))
 	return cipher.Block{}, info, fmt.Errorf("core: detected uncorrectable error at %#x (%d candidates)", addr, len(res.Candidates))
 }
 
@@ -316,9 +397,9 @@ func (e *Engine) decrypt(addr uint64, ct cipher.Block, meta uint64) (cipher.Bloc
 	}
 	_, hit := e.memo.Lookup(uint32(meta))
 	if hit {
-		e.stats.MemoHits++
+		e.m.memoHits.Inc()
 	} else {
-		e.stats.MemoMisses++
+		e.m.memoMisses.Inc()
 	}
 	return e.cm.Decrypt(meta, addr, ct), hit
 }

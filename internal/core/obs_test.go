@@ -1,0 +1,215 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"counterlight/internal/cache"
+	"counterlight/internal/crypto/mix"
+	"counterlight/internal/dram"
+	"counterlight/internal/epoch"
+	"counterlight/internal/memoize"
+	"counterlight/internal/obs"
+	"counterlight/internal/trace"
+)
+
+// TestMetricsMatchLegacyStats is the observability layer's ground
+// truth: on one run, the registry's snapshot must agree exactly with
+// the legacy Stats()-style accessors and Result fields fed by the
+// same instruments.
+func TestMetricsMatchLegacyStats(t *testing.T) {
+	o := obs.NewObserver(1 << 12)
+	cfg := fastCfg(CounterMode)
+	cfg.WarmupTime = 0 // window == whole run, so history and counters align
+	cfg.Obs = o
+	w, ok := trace.ByName("mcf")
+	if !ok {
+		t.Fatal("mcf workload missing")
+	}
+	res, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Metrics.Snapshot()
+	lbl := obs.L("scheme", "countermode")
+
+	if got := snap.Value("sim_instructions_total", lbl); got != float64(res.Instructions) {
+		t.Errorf("sim_instructions_total = %v, Result.Instructions = %d", got, res.Instructions)
+	}
+	if got := snap.Value("sim_llc_misses_total", lbl); got != float64(res.LLCMisses) {
+		t.Errorf("sim_llc_misses_total = %v, Result.LLCMisses = %d", got, res.LLCMisses)
+	}
+	if got := snap.Value("dram_reads_total", lbl); got != float64(res.DRAM.Reads) {
+		t.Errorf("dram_reads_total = %v, Result.DRAM.Reads = %d", got, res.DRAM.Reads)
+	}
+	if got := snap.Value("dram_writes_total", lbl); got != float64(res.DRAM.Writes) {
+		t.Errorf("dram_writes_total = %v, Result.DRAM.Writes = %d", got, res.DRAM.Writes)
+	}
+
+	// Memo hits/misses: every table lookup happens on the simulator's
+	// read path, so the table's counters and the window counters are
+	// two views of the same stream.
+	hits := snap.Value("memo_hits_total", lbl)
+	misses := snap.Value("memo_misses_total", lbl)
+	if hits != snap.Value("sim_memo_read_hits_total", lbl) {
+		t.Errorf("memo_hits_total = %v != sim_memo_read_hits_total = %v",
+			hits, snap.Value("sim_memo_read_hits_total", lbl))
+	}
+	if hits+misses == 0 {
+		t.Fatal("no memo lookups recorded; workload too small for the parity check")
+	}
+	if rate := hits / (hits + misses); rate != res.MemoHitRate {
+		t.Errorf("registry memo hit rate = %v, Result.MemoHitRate = %v", rate, res.MemoHitRate)
+	}
+
+	// Epoch mode switches: with no warmup, the monitor's window
+	// counter must equal the timeline's mid-epoch switch count.
+	var histSwitches float64
+	for _, rec := range res.EpochHistory {
+		if rec.SwitchedMid {
+			histSwitches++
+		}
+	}
+	if got := snap.Value("epoch_mid_switches_total", lbl); got != histSwitches {
+		t.Errorf("epoch_mid_switches_total = %v, EpochHistory switches = %v", got, histSwitches)
+	}
+
+	// Counter-arrival histogram: registry and Result views of the
+	// same bins.
+	hs, ok := snap.Get("sim_counter_late_ps", lbl)
+	if !ok {
+		t.Fatal("sim_counter_late_ps missing from snapshot")
+	}
+	if hs.Value != float64(res.CounterLateHist.Total()) {
+		t.Errorf("histogram total = %v, Result hist total = %d", hs.Value, res.CounterLateHist.Total())
+	}
+	resBins := res.CounterLateHist.Bins()
+	for i := range resBins {
+		if hs.Counts[i] != resBins[i] {
+			t.Errorf("histogram bin %d = %d, Result bin = %d", i, hs.Counts[i], resBins[i])
+		}
+	}
+
+	// The exposition paths must accept a real run's registry.
+	var prom, js bytes.Buffer
+	if err := snap.WritePrometheus(&prom); err != nil {
+		t.Fatalf("prometheus exposition: %v", err)
+	}
+	if err := snap.WriteJSON(&js); err != nil {
+		t.Fatalf("json exposition: %v", err)
+	}
+	if _, err := obs.ReadSnapshot(bytes.NewReader(js.Bytes())); err != nil {
+		t.Fatalf("json round trip: %v", err)
+	}
+}
+
+// TestTraceProducesPerfettoLoadableJSON runs with tracing on and
+// checks the export is valid trace_event JSON with pipeline events.
+func TestTraceProducesPerfettoLoadableJSON(t *testing.T) {
+	o := obs.NewObserver(1 << 14)
+	cfg := fastCfg(CounterLight)
+	cfg.Obs = o
+	w, _ := trace.ByName("mcf")
+	if _, err := Run(cfg, w); err != nil {
+		t.Fatal(err)
+	}
+	if o.Trace.Len() == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	var buf bytes.Buffer
+	if err := o.Trace.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	names := make(map[string]int)
+	for _, e := range doc.TraceEvents {
+		names[e.Name]++
+	}
+	for _, want := range []string{"memo_hit", "event_queue_depth", "bus_backlog_ps"} {
+		if names[want] == 0 {
+			t.Errorf("no %q events in trace (have %v)", want, names)
+		}
+	}
+}
+
+// TestObservabilityDoesNotPerturbResults: a run with full
+// observability enabled must produce bit-identical measurements to a
+// bare run.
+func TestObservabilityDoesNotPerturbResults(t *testing.T) {
+	cfg := fastCfg(CounterLight)
+	w, _ := trace.ByName("omnetpp")
+	bare, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs = obs.NewObserver(1 << 12)
+	cfg.Progress = func(ProgressInfo) {}
+	observed, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Instructions != observed.Instructions || bare.LLCMisses != observed.LLCMisses ||
+		bare.DRAM != observed.DRAM || bare.AvgMissLatNS != observed.AvgMissLatNS {
+		t.Errorf("observability changed the run:\nbare:     %v\nobserved: %v", bare, observed)
+	}
+	if len(bare.EpochHistory) != len(observed.EpochHistory) {
+		t.Errorf("epoch history diverged: %d vs %d records",
+			len(bare.EpochHistory), len(observed.EpochHistory))
+	}
+}
+
+// TestStartWindowResetsCounterHist is the regression test for the
+// warmup-pollution bug: startWindow reset dram/memo/missLat but left
+// s.ctrHist holding warmup samples, skewing the Fig. 8 histogram.
+func TestStartWindowResetsCounterHist(t *testing.T) {
+	cfg := fastCfg(CounterMode)
+	s := &simulator{cfg: cfg, blockMeta: make(map[uint64]uint32)}
+	s.o = obs.NewObserver(0)
+
+	var err error
+	if s.dram, err = dram.New(dram.DefaultConfig(cfg.BandwidthGBs)); err != nil {
+		t.Fatal(err)
+	}
+	if s.mon, err = epoch.NewMonitor(cfg.EpochLen, s.dram.BurstTime(), cfg.Threshold); err != nil {
+		t.Fatal(err)
+	}
+	s.memo = memoize.New(16, 0, func(c uint64) mix.Word { return mix.Word{Hi: c} })
+	if s.l3, err = cache.New(4096, 64, 4); err != nil {
+		t.Fatal(err)
+	}
+	if s.ctrC, err = cache.New(4096, 64, 4); err != nil {
+		t.Fatal(err)
+	}
+	if s.ctrHist, err = obs.NewHistogram(0, 5*ns, 10*ns); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warmup-phase samples.
+	s.ctrHist.Add(-2 * ns)
+	s.ctrHist.Add(7 * ns)
+	s.ctrHist.Add(20 * ns)
+	s.instr.Add(5)
+	s.mon.Record(0)
+
+	s.startWindow()
+
+	if got := s.ctrHist.Total(); got != 0 {
+		t.Errorf("counter-arrival histogram kept %d warmup samples across startWindow", got)
+	}
+	if got := s.instr.Value(); got != 0 {
+		t.Errorf("instruction counter kept %d across startWindow", got)
+	}
+	if !s.measuring {
+		t.Error("startWindow did not enter measurement mode")
+	}
+}

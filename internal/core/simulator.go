@@ -10,9 +10,12 @@ import (
 	"counterlight/internal/energy"
 	"counterlight/internal/epoch"
 	"counterlight/internal/memoize"
+	"counterlight/internal/obs"
 	"counterlight/internal/sim"
 	"counterlight/internal/stats"
 	"counterlight/internal/trace"
+
+	"strconv"
 )
 
 // Result is the measurement of one simulated window.
@@ -97,7 +100,12 @@ const (
 	evCounter          // counter-block update for a writeback
 	evTreeWalk         // one integrity-tree level of a walk
 	evDRAMWrite        // a posted DRAM write (dirty metadata eviction)
+	evSample           // periodic observability sample (trace/progress)
 )
+
+// samplePeriod is how often the tracer samples queue depths (10 µs:
+// ten samples per 100 µs epoch).
+const samplePeriod = 10 * us
 
 // simulator wires the hierarchy together for one run.
 type simulator struct {
@@ -118,15 +126,28 @@ type simulator struct {
 	blockMeta map[uint64]uint32
 
 	measuring bool
-	instr     uint64
 	missLat   stats.Accumulator
-	ctrHist   *stats.Histogram
-	llcMiss   uint64
-	llcWB     uint64
-	wbCls     uint64
-	wbTotal   uint64
-	memoHitsW uint64 // window-scoped memo lookups on the read path
-	memoRefsW uint64
+
+	// Window-scoped counters, registered in the observer's registry
+	// (result() and the legacy accessors are views over them).
+	instr     obs.Counter
+	ctrHist   *obs.Histogram
+	llcMiss   obs.Counter
+	llcWB     obs.Counter
+	wbCls     obs.Counter
+	wbTotal   obs.Counter
+	memoHitsW obs.Counter // window-scoped memo lookups on the read path
+	memoRefsW obs.Counter
+
+	// Observability plumbing (never affects timing).
+	o             *obs.Observer
+	tr            *obs.Tracer // nil when tracing is off
+	now           int64       // timestamp of the event being processed
+	qDepth        *obs.Gauge
+	busBacklog    *obs.Gauge
+	sampleEvery   int64 // 0 disables the evSample stream
+	progressEvery int64
+	lastProgress  int64
 }
 
 const metaFlag = uint32(ctrblock.CounterlessFlag)
@@ -138,6 +159,11 @@ func Run(cfg Config, w trace.Workload) (Result, error) {
 		return Result{}, err
 	}
 	s := &simulator{cfg: cfg, blockMeta: make(map[uint64]uint32)}
+	s.o = cfg.Obs
+	if s.o == nil {
+		s.o = obs.NewObserver(0)
+	}
+	s.tr = s.o.Trace
 
 	var err error
 	if s.l3, err = cache.New(cfg.L3Size, cfg.BlockSize, cfg.L3Ways); err != nil {
@@ -165,7 +191,7 @@ func Run(cfg Config, w trace.Workload) (Result, error) {
 	s.memo = memoize.New(cfg.MemoEntries, 0, func(c uint64) mix.Word {
 		return mix.Word{Hi: c * 0x9e3779b97f4a7c15, Lo: ^c}
 	})
-	s.ctrHist, err = stats.NewHistogram(0, 5*ns, 10*ns)
+	s.ctrHist, err = obs.NewHistogram(0, 5*ns, 10*ns)
 	if err != nil {
 		return Result{}, err
 	}
@@ -189,8 +215,24 @@ func Run(cfg Config, w trace.Workload) (Result, error) {
 		}}
 	}
 
+	s.registerMetrics()
+
 	warmupEnd := cfg.WarmupTime
 	end := cfg.WarmupTime + cfg.WindowTime
+
+	s.progressEvery = cfg.ProgressEvery
+	if s.progressEvery <= 0 {
+		s.progressEvery = ms
+	}
+	if s.tr != nil {
+		s.sampleEvery = samplePeriod
+	}
+	if cfg.Progress != nil && (s.sampleEvery == 0 || s.progressEvery < s.sampleEvery) {
+		s.sampleEvery = s.progressEvery
+	}
+	if s.sampleEvery > 0 {
+		s.q.Push(s.sampleEvery, event{kind: evSample})
+	}
 
 	for c := range s.cores {
 		s.q.Push(0, event{kind: evCore, core: c})
@@ -200,6 +242,7 @@ func Run(cfg Config, w trace.Workload) (Result, error) {
 		if !ok {
 			break
 		}
+		s.now = t
 		if !s.measuring && t >= warmupEnd {
 			s.startWindow()
 		}
@@ -222,10 +265,80 @@ func Run(cfg Config, w trace.Workload) (Result, error) {
 		case evDRAMWrite:
 			s.mon.Record(t)
 			s.dram.Access(e.addr, t, true)
+		case evSample:
+			s.sample(t)
+			if t < end {
+				s.q.Push(t+s.sampleEvery, event{kind: evSample})
+			}
 		}
 	}
 
 	return s.result(w.Name), nil
+}
+
+// registerMetrics exposes every subsystem's counters through the
+// observer's registry, labeled with the scheme so normalized pairs
+// (RunPair, clsim -baseline) can share one registry, and wires the
+// tracer into the components that emit events from inside.
+func (s *simulator) registerMetrics() {
+	reg := s.o.Metrics
+	lbl := obs.L("scheme", s.cfg.Scheme.String())
+	reg.RegisterCounter("sim_instructions_total", &s.instr, lbl)
+	reg.RegisterCounter("sim_llc_misses_total", &s.llcMiss, lbl)
+	reg.RegisterCounter("sim_llc_writebacks_total", &s.llcWB, lbl)
+	reg.RegisterCounter("sim_wb_total", &s.wbTotal, lbl)
+	reg.RegisterCounter("sim_wb_counterless_total", &s.wbCls, lbl)
+	reg.RegisterCounter("sim_memo_read_hits_total", &s.memoHitsW, lbl)
+	reg.RegisterCounter("sim_memo_read_refs_total", &s.memoRefsW, lbl)
+	reg.RegisterHistogram("sim_counter_late_ps", s.ctrHist, lbl)
+	s.qDepth = reg.Gauge("sim_event_queue_depth", lbl)
+	s.busBacklog = reg.Gauge("sim_dram_bus_backlog_ps", lbl)
+
+	s.dram.RegisterMetrics(reg, lbl)
+	s.mon.RegisterMetrics(reg, lbl)
+	s.memo.RegisterMetrics(reg, lbl)
+	s.l3.RegisterMetrics(reg, lbl, obs.L("level", "l3"))
+	s.ctrC.RegisterMetrics(reg, lbl, obs.L("level", "counter"))
+	for c := range s.l1 {
+		core := obs.L("core", strconv.Itoa(c))
+		s.l1[c].RegisterMetrics(reg, lbl, obs.L("level", "l1"), core)
+		s.l2[c].RegisterMetrics(reg, lbl, obs.L("level", "l2"), core)
+	}
+
+	s.mon.SetTracer(s.tr)
+	if s.tr != nil {
+		s.memo.SetEvictHook(func(key uint32) {
+			s.tr.Emit(s.now, obs.PhaseInstant, obs.CatMemo, "memo_evict",
+				obs.A("counter", int64(key)))
+		})
+	}
+}
+
+// sample is the periodic observability tick: queue-depth gauges and
+// counter tracks for the tracer, plus the progress callback. It only
+// reads simulator state, so it cannot perturb the run.
+func (s *simulator) sample(t int64) {
+	depth := int64(s.q.Len())
+	backlog := s.dram.BusBacklog(t)
+	s.qDepth.Set(depth)
+	s.busBacklog.Set(backlog)
+	s.tr.Emit(t, obs.PhaseCounter, obs.CatSim, "event_queue_depth", obs.A("value", depth))
+	s.tr.Emit(t, obs.PhaseCounter, obs.CatDRAM, "bus_backlog_ps", obs.A("value", backlog))
+	if s.cfg.Progress != nil && t-s.lastProgress >= s.progressEvery {
+		s.lastProgress = t
+		p := ProgressInfo{
+			SimPS:        t,
+			Measuring:    s.measuring,
+			Instructions: s.instr.Value(),
+			Mode:         s.mon.CurrentMode(),
+		}
+		if s.measuring {
+			if cycles := float64(t-s.cfg.WarmupTime) / 312.0; cycles > 0 {
+				p.IPC = float64(p.Instructions) / float64(s.cfg.Cores) / cycles
+			}
+		}
+		s.cfg.Progress(p)
+	}
 }
 
 // startWindow resets all window-scoped statistics at the end of warmup.
@@ -233,11 +346,24 @@ func (s *simulator) startWindow() {
 	s.measuring = true
 	s.dram.ResetStats()
 	s.memo.ResetStats()
-	s.instr = 0
+	s.mon.ResetStats()
+	s.l3.ResetStats()
+	s.ctrC.ResetStats()
+	for c := range s.l1 {
+		s.l1[c].ResetStats()
+		s.l2[c].ResetStats()
+	}
+	s.instr.Reset()
 	s.missLat = stats.Accumulator{}
-	s.llcMiss, s.llcWB = 0, 0
-	s.wbCls, s.wbTotal = 0, 0
-	s.memoHitsW, s.memoRefsW = 0, 0
+	// Warmup samples must not pollute the Fig. 8 counter-arrival
+	// histogram.
+	s.ctrHist.Reset()
+	s.llcMiss.Reset()
+	s.llcWB.Reset()
+	s.wbCls.Reset()
+	s.wbTotal.Reset()
+	s.memoHitsW.Reset()
+	s.memoRefsW.Reset()
 }
 
 // step executes one op on core c and returns the core's next-ready time.
@@ -269,7 +395,7 @@ func (s *simulator) step(c int) int64 {
 		core.lastLoadDone = done
 	}
 	if s.measuring {
-		s.instr += op.Instr
+		s.instr.Add(op.Instr)
 	}
 	// One issue slot per op (3.2 GHz cycle).
 	core.time = t + 312
@@ -359,7 +485,7 @@ func (s *simulator) fillL3(addr uint64, ready int64) {
 	if ev, ok := s.l3.Insert(addr, ready, false); ok && ev.Dirty {
 		// Post the writeback; it reaches the MC at the fill time and
 		// is processed in global time order.
-		s.q.Push(ready, event{kind: 1, addr: ev.Addr})
+		s.q.Push(ready, event{kind: evWriteback, addr: ev.Addr})
 	}
 }
 
@@ -423,7 +549,7 @@ func (s *simulator) mcRead(addr uint64, tm int64, demand bool) int64 {
 	}
 
 	if demand && s.measuring {
-		s.llcMiss++
+		s.llcMiss.Inc()
 		s.missLat.Add(ready - tm)
 	}
 	return ready
@@ -436,16 +562,29 @@ func (s *simulator) otpLatency(ctr uint32) int64 {
 		return s.cfg.AESLat
 	}
 	_, hit := s.memo.Lookup(ctr)
+	s.traceMemo(ctr, hit)
 	if s.measuring {
-		s.memoRefsW++
+		s.memoRefsW.Inc()
 		if hit {
-			s.memoHitsW++
+			s.memoHitsW.Inc()
 		}
 	}
 	if hit {
 		return s.cfg.MemoLat
 	}
 	return s.cfg.AESLat
+}
+
+// traceMemo emits the memoization hit/miss event stream.
+func (s *simulator) traceMemo(ctr uint32, hit bool) {
+	if s.tr == nil {
+		return
+	}
+	name := "memo_miss"
+	if hit {
+		name = "memo_hit"
+	}
+	s.tr.Emit(s.now, obs.PhaseInstant, obs.CatMemo, name, obs.A("counter", int64(ctr)))
 }
 
 // otpLatencyCL is the Counter-light variant: a memo hit yields the
@@ -455,10 +594,11 @@ func (s *simulator) otpLatencyCL(ctr uint32) int64 {
 		return s.cfg.AESLat
 	}
 	_, hit := s.memo.Lookup(ctr)
+	s.traceMemo(ctr, hit)
 	if s.measuring {
-		s.memoRefsW++
+		s.memoRefsW.Inc()
 		if hit {
-			s.memoHitsW++
+			s.memoHitsW.Inc()
 		}
 	}
 	if hit {
@@ -498,7 +638,7 @@ func (s *simulator) mcWrite(addr uint64, tw int64) {
 	s.mon.Record(tw)
 	s.dram.Access(addr, tw, true)
 	if s.measuring {
-		s.llcWB++
+		s.llcWB.Inc()
 	}
 	blk := addr / cfg.BlockSize
 
@@ -515,7 +655,7 @@ func (s *simulator) mcWrite(addr uint64, tw int64) {
 	case CounterMode:
 		s.q.Push(tw+cfg.CounterCacheLat, event{kind: evCounter, addr: addr})
 		if s.measuring {
-			s.wbTotal++
+			s.wbTotal.Inc()
 		}
 		return
 
@@ -525,12 +665,12 @@ func (s *simulator) mcWrite(addr uint64, tw int64) {
 			mode = s.mon.WritebackMode(tw)
 		}
 		if s.measuring {
-			s.wbTotal++
+			s.wbTotal.Inc()
 		}
 		if mode == epoch.Counterless {
 			s.blockMeta[blk] = metaFlag
 			if s.measuring {
-				s.wbCls++
+				s.wbCls.Inc()
 			}
 			return
 		}
@@ -599,30 +739,31 @@ func (s *simulator) result(workload string) Result {
 	}
 	totalPJ := meter.TotalPJ(cfg.WindowTime)
 
+	ctrHist, _ := stats.FromBins(s.ctrHist.Edges(), s.ctrHist.Bins())
 	r := Result{
 		Scheme:          cfg.Scheme,
 		Workload:        workload,
 		WindowPS:        cfg.WindowTime,
-		Instructions:    s.instr,
-		IPC:             float64(s.instr) / float64(cfg.Cores) / (float64(cfg.WindowTime) / 312.0),
-		LLCMisses:       s.llcMiss,
-		LLCWritebacks:   s.llcWB,
+		Instructions:    s.instr.Value(),
+		IPC:             float64(s.instr.Value()) / float64(cfg.Cores) / (float64(cfg.WindowTime) / 312.0),
+		LLCMisses:       s.llcMiss.Value(),
+		LLCWritebacks:   s.llcWB.Value(),
 		AvgMissLatNS:    s.missLat.Mean() / 1000.0,
 		DRAM:            d,
 		BusUtilization:  float64(d.BusBusyPS) / float64(cfg.WindowTime),
 		EnergyPJ:        totalPJ,
-		CounterLateHist: s.ctrHist,
-		WBCounterless:   s.wbCls,
-		WBTotal:         s.wbTotal,
+		CounterLateHist: ctrHist,
+		WBCounterless:   s.wbCls.Value(),
+		WBTotal:         s.wbTotal.Value(),
 	}
-	if s.instr > 0 {
-		r.EnergyPerInst = totalPJ / float64(s.instr)
+	if r.Instructions > 0 {
+		r.EnergyPerInst = totalPJ / float64(r.Instructions)
 	}
-	if s.memoRefsW > 0 {
-		r.MemoHitRate = float64(s.memoHitsW) / float64(s.memoRefsW)
+	if s.memoRefsW.Value() > 0 {
+		r.MemoHitRate = float64(s.memoHitsW.Value()) / float64(s.memoRefsW.Value())
 	}
-	if s.ctrHist.Total() > 0 {
-		r.CounterLateFrac = s.ctrHist.FractionAbove(0)
+	if ctrHist.Total() > 0 {
+		r.CounterLateFrac = ctrHist.FractionAbove(0)
 	}
 	if r.BusUtilization > 1 {
 		r.BusUtilization = 1

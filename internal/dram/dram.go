@@ -12,7 +12,11 @@
 // is what produces Fig. 8's late-counter distribution.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"counterlight/internal/obs"
+)
 
 // Config describes the channel geometry and timing. All times are in
 // picoseconds.
@@ -67,12 +71,20 @@ type bank struct {
 	refreshedAt int64 // start of the last refresh window applied
 }
 
-// Channel is one DRAM channel.
+// Channel is one DRAM channel. Its event counts live in obs
+// instruments so a registry can export them mid-run; Stats() stays
+// the legacy view over the same storage.
 type Channel struct {
 	cfg     Config
 	banks   []bank
 	busFree int64 // earliest time the shared data bus is free
-	stats   Stats
+
+	reads, writes obs.Counter
+	rowHits       obs.Counter
+	rowMisses     obs.Counter
+	rowConflicts  obs.Counter
+	refreshes     obs.Counter
+	busBusyPS     obs.Counter
 }
 
 // New builds a channel from the config.
@@ -89,11 +101,52 @@ func New(cfg Config) (*Channel, error) {
 	return ch, nil
 }
 
-// Stats returns a copy of the counters.
-func (c *Channel) Stats() Stats { return c.stats }
+// Stats returns a copy of the counters (a thin view over the obs
+// instruments).
+func (c *Channel) Stats() Stats {
+	return Stats{
+		Reads:        c.reads.Value(),
+		Writes:       c.writes.Value(),
+		RowHits:      c.rowHits.Value(),
+		RowMisses:    c.rowMisses.Value(),
+		RowConflicts: c.rowConflicts.Value(),
+		Refreshes:    c.refreshes.Value(),
+		BusBusyPS:    int64(c.busBusyPS.Value()),
+	}
+}
 
 // ResetStats zeroes the counters (per measurement window).
-func (c *Channel) ResetStats() { c.stats = Stats{} }
+func (c *Channel) ResetStats() {
+	c.reads.Reset()
+	c.writes.Reset()
+	c.rowHits.Reset()
+	c.rowMisses.Reset()
+	c.rowConflicts.Reset()
+	c.refreshes.Reset()
+	c.busBusyPS.Reset()
+}
+
+// RegisterMetrics exposes the channel's counters through a registry
+// under the given labels.
+func (c *Channel) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.RegisterCounter("dram_reads_total", &c.reads, labels...)
+	reg.RegisterCounter("dram_writes_total", &c.writes, labels...)
+	reg.RegisterCounter("dram_row_hits_total", &c.rowHits, labels...)
+	reg.RegisterCounter("dram_row_misses_total", &c.rowMisses, labels...)
+	reg.RegisterCounter("dram_row_conflicts_total", &c.rowConflicts, labels...)
+	reg.RegisterCounter("dram_refreshes_total", &c.refreshes, labels...)
+	reg.RegisterCounter("dram_bus_busy_ps_total", &c.busBusyPS, labels...)
+}
+
+// BusBacklog reports how far ahead of now the shared data bus is
+// booked — the channel's queueing pressure, sampled by the tracer.
+func (c *Channel) BusBacklog(now int64) int64 {
+	b := c.busFree - now
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
 
 // BurstTime exposes the per-access bus occupancy (the epoch monitor's
 // access-time unit).
@@ -136,7 +189,7 @@ func (c *Channel) Access(addr uint64, now int64, write bool) int64 {
 			if start < refStart+c.cfg.TRFC {
 				start = refStart + c.cfg.TRFC
 				b.openRow = -1
-				c.stats.Refreshes++
+				c.refreshes.Inc()
 			}
 		}
 	}
@@ -144,13 +197,13 @@ func (c *Channel) Access(addr uint64, now int64, write bool) int64 {
 	var coreLatency int64
 	switch {
 	case b.openRow == row:
-		c.stats.RowHits++
+		c.rowHits.Inc()
 		coreLatency = c.cfg.TCL
 	case b.openRow == -1:
-		c.stats.RowMisses++
+		c.rowMisses.Inc()
 		coreLatency = c.cfg.TRCD + c.cfg.TCL
 	default:
-		c.stats.RowConflicts++
+		c.rowConflicts.Inc()
 		coreLatency = c.cfg.TRP + c.cfg.TRCD + c.cfg.TCL
 	}
 	b.openRow = row
@@ -173,16 +226,16 @@ func (c *Channel) Access(addr uint64, now int64, write bool) int64 {
 	if slot > done {
 		done = slot
 	}
-	c.stats.BusBusyPS += c.cfg.BurstTime
+	c.busBusyPS.Add(uint64(c.cfg.BurstTime))
 
 	// The bank stays busy until the burst completes; writes add a
 	// write-recovery hold modeled as one extra burst time.
 	b.readyAt = done
 	if write {
 		b.readyAt += c.cfg.BurstTime
-		c.stats.Writes++
+		c.writes.Inc()
 	} else {
-		c.stats.Reads++
+		c.reads.Inc()
 	}
 	return done
 }
@@ -207,7 +260,7 @@ func (c *Channel) BusUtilization(now int64) float64 {
 	if now <= 0 {
 		return 0
 	}
-	u := float64(c.stats.BusBusyPS) / float64(now)
+	u := float64(c.busBusyPS.Value()) / float64(now)
 	if u > 1 {
 		u = 1
 	}

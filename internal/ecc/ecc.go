@@ -120,6 +120,7 @@ type Correction struct {
 	DUE        bool        // zero or multiple matches: detected uncorrectable
 	Candidate              // the winning candidate (valid when OK)
 	Candidates []Candidate // every matching trial; >1 means ambiguity (see §IV-E)
+	Trials     int         // correction trials run (the observability layer histograms this)
 }
 
 // Verify checks a codeword assuming no errors: decode the metadata,
@@ -143,6 +144,7 @@ func Verify(cw CodeWord, mac MACFunc) (meta uint64, ok bool) {
 // the paper arrives at the 2^-60 vs 2^-61 DUE comparison (§IV-E).
 func Correct(cw CodeWord, hyps []Hypothesis) Correction {
 	var cands []Candidate
+	trials := 0
 	record := func(c Candidate) { cands = append(cands, c) }
 	for hi, h := range hyps {
 		origParity := cw.Parity ^ h.Meta // cancel metadata out of the parity
@@ -151,6 +153,7 @@ func Correct(cw CodeWord, hyps []Hypothesis) Correction {
 		// consistent on their own; metadata equals the hypothesis only
 		// if the parity decodes to it, otherwise the parity chip is
 		// the faulty one.
+		trials++
 		if h.MAC(cw.Block(), h.Meta) == cw.MAC {
 			bad := ParityChip
 			if cw.DecodeMeta() == h.Meta {
@@ -169,6 +172,7 @@ func Correct(cw CodeWord, hyps []Hypothesis) Correction {
 			cand := cw.Data
 			cand[i] = rebuilt
 			blk := ChipsToBlock(cand)
+			trials++
 			if h.MAC(blk, h.Meta) == cw.MAC {
 				record(Candidate{Data: blk, Meta: h.Meta, Hypothesis: hi, BadChip: i})
 			}
@@ -176,12 +180,13 @@ func Correct(cw CodeWord, hyps []Hypothesis) Correction {
 
 		// Trial: MAC chip bad. Reconstruct the MAC from the parity.
 		rebuiltMAC := origParity ^ xorAll
+		trials++
 		if rebuiltMAC != cw.MAC && h.MAC(cw.Block(), h.Meta) == rebuiltMAC {
 			record(Candidate{Data: cw.Block(), Meta: h.Meta, Hypothesis: hi, BadChip: MACChip})
 		}
 	}
 	if len(cands) == 1 {
-		return Correction{OK: true, Candidate: cands[0], Candidates: cands}
+		return Correction{OK: true, Candidate: cands[0], Candidates: cands, Trials: trials}
 	}
-	return Correction{DUE: true, Candidates: cands}
+	return Correction{DUE: true, Candidates: cands, Trials: trials}
 }

@@ -11,7 +11,11 @@
 // the moment its own access count crosses the same threshold.
 package epoch
 
-import "fmt"
+import (
+	"fmt"
+
+	"counterlight/internal/obs"
+)
 
 // Mode is the writeback encryption mode selected for (part of) an epoch.
 type Mode int
@@ -55,10 +59,13 @@ type Monitor struct {
 	nextFromStart Mode   // mode the next epoch will start in
 	history       []Record
 
-	// statistics
-	epochs              uint64
-	counterlessEpochs   uint64 // epochs that *started* counterless
-	midEpochSwitches    uint64
+	tracer *obs.Tracer // optional; nil drops every event
+
+	// statistics (obs instruments so a registry can export them
+	// mid-run; the accessors below stay the legacy views)
+	epochs              obs.Counter
+	counterlessEpochs   obs.Counter // epochs that *started* counterless
+	midEpochSwitches    obs.Counter
 	totalAccesses       uint64
 	busyAccumulated     uint64 // Σ per-epoch accesses, for utilization
 	capacityAccumulated uint64 // Σ per-epoch capacity
@@ -101,7 +108,9 @@ func (m *Monitor) Record(now int64) {
 	// threshold switches to counterless for the remainder (§IV-B).
 	if m.mode == CounterMode && m.accesses > m.threshold {
 		m.mode = Counterless
-		m.midEpochSwitches++
+		m.midEpochSwitches.Inc()
+		m.tracer.Emit(now, obs.PhaseInstant, obs.CatEpoch, "mid_epoch_fallback",
+			obs.A("accesses", int64(m.accesses)), obs.A("threshold", int64(m.threshold)))
 	}
 }
 
@@ -121,9 +130,9 @@ func (m *Monitor) roll(now int64) {
 		} else {
 			m.nextFromStart = CounterMode
 		}
-		m.epochs++
+		m.epochs.Inc()
 		if m.nextFromStart == Counterless {
-			m.counterlessEpochs++
+			m.counterlessEpochs.Inc()
 		}
 		m.busyAccumulated += m.accesses
 		m.capacityAccumulated += m.maxAccesses
@@ -135,7 +144,16 @@ func (m *Monitor) roll(now int64) {
 				SwitchedMid: m.startMode == CounterMode && m.mode == Counterless,
 			})
 		}
-		m.epochStart += m.epochLen
+		boundary := m.epochStart + m.epochLen
+		if m.tracer != nil {
+			m.tracer.Emit(boundary, obs.PhaseCounter, obs.CatEpoch, "epoch_utilization_pct",
+				obs.A("value", int64(100*m.accesses/m.maxAccesses)))
+			if m.nextFromStart != m.startMode {
+				m.tracer.Emit(boundary, obs.PhaseInstant, obs.CatEpoch, "mode_switch",
+					obs.A("mode", int64(m.nextFromStart)), obs.A("epoch", int64(m.epochs.Value())))
+			}
+		}
+		m.epochStart = boundary
 		m.accesses = 0
 		m.mode = m.nextFromStart
 		m.startMode = m.nextFromStart
@@ -158,15 +176,46 @@ func (m *Monitor) Threshold() uint64 { return m.threshold }
 func (m *Monitor) MaxAccesses() uint64 { return m.maxAccesses }
 
 // Epochs returns the number of completed epochs.
-func (m *Monitor) Epochs() uint64 { return m.epochs }
+func (m *Monitor) Epochs() uint64 { return m.epochs.Value() }
 
 // CounterlessEpochs returns how many completed epochs started in
 // counterless mode.
-func (m *Monitor) CounterlessEpochs() uint64 { return m.counterlessEpochs }
+func (m *Monitor) CounterlessEpochs() uint64 { return m.counterlessEpochs.Value() }
 
 // MidEpochSwitches counts counter-mode epochs that fell back to
 // counterless before ending.
-func (m *Monitor) MidEpochSwitches() uint64 { return m.midEpochSwitches }
+func (m *Monitor) MidEpochSwitches() uint64 { return m.midEpochSwitches.Value() }
+
+// CurrentMode returns the writeback mode in effect as of the last
+// recorded access, without rolling epochs forward — a read-only probe
+// for progress reporting that cannot perturb the epoch timeline.
+func (m *Monitor) CurrentMode() Mode { return m.mode }
+
+// ResetStats clears the mode-switch and threshold-crossing counters
+// (per-measurement-window accounting, for parity with cache/dram/
+// memoize). The epoch timeline — current mode, epoch boundaries, and
+// the History log — is untouched: it intentionally spans the whole
+// run including warmup.
+func (m *Monitor) ResetStats() {
+	m.epochs.Reset()
+	m.counterlessEpochs.Reset()
+	m.midEpochSwitches.Reset()
+	m.totalAccesses = 0
+	m.busyAccumulated = 0
+	m.capacityAccumulated = 0
+}
+
+// RegisterMetrics exposes the monitor's counters through a registry
+// under the given labels.
+func (m *Monitor) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.RegisterCounter("epoch_epochs_total", &m.epochs, labels...)
+	reg.RegisterCounter("epoch_counterless_epochs_total", &m.counterlessEpochs, labels...)
+	reg.RegisterCounter("epoch_mid_switches_total", &m.midEpochSwitches, labels...)
+}
+
+// SetTracer installs (or clears, with nil) the event tracer the
+// monitor emits mode decisions through.
+func (m *Monitor) SetTracer(t *obs.Tracer) { m.tracer = t }
 
 // History returns the closed-epoch timeline (capped at 65536 entries).
 func (m *Monitor) History() []Record { return m.history }

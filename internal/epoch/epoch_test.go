@@ -190,3 +190,41 @@ func TestHistoryTimeline(t *testing.T) {
 		t.Error("epoch 1 wrongly marked mid-switched")
 	}
 }
+
+// ResetStats must clear the window counters without disturbing the
+// epoch timeline (mode, boundaries, history).
+func TestResetStatsKeepsTimeline(t *testing.T) {
+	m := newMon(t, 0.6)
+	// Drive one busy epoch (mid switch + counterless next) and roll
+	// into the second.
+	for i := uint64(0); i <= m.Threshold()+1; i++ {
+		m.Record(int64(i))
+	}
+	m.Record(epochL + 1)
+	if m.Epochs() == 0 || m.MidEpochSwitches() == 0 {
+		t.Fatalf("setup failed: epochs=%d switches=%d", m.Epochs(), m.MidEpochSwitches())
+	}
+	histBefore := len(m.History())
+	modeBefore := m.CurrentMode()
+
+	m.ResetStats()
+
+	if m.Epochs() != 0 || m.CounterlessEpochs() != 0 || m.MidEpochSwitches() != 0 {
+		t.Errorf("counters survived reset: epochs=%d counterless=%d switches=%d",
+			m.Epochs(), m.CounterlessEpochs(), m.MidEpochSwitches())
+	}
+	if m.Utilization() != 0 {
+		t.Errorf("utilization = %v after reset, want 0", m.Utilization())
+	}
+	if len(m.History()) != histBefore {
+		t.Errorf("history length changed across reset: %d -> %d", histBefore, len(m.History()))
+	}
+	if m.CurrentMode() != modeBefore {
+		t.Errorf("mode changed across reset: %v -> %v", modeBefore, m.CurrentMode())
+	}
+	// The timeline keeps rolling correctly after a reset.
+	m.Record(2*epochL + 1)
+	if m.Epochs() != 1 {
+		t.Errorf("epochs after reset+roll = %d, want 1", m.Epochs())
+	}
+}

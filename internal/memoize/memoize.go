@@ -23,6 +23,7 @@ package memoize
 
 import (
 	"counterlight/internal/crypto/mix"
+	"counterlight/internal/obs"
 )
 
 // DefaultEpochWrites is the default number of writebacks between
@@ -48,7 +49,12 @@ type Table struct {
 	epochWrites   int    // writebacks per W advance
 	writesInEpoch int
 
-	hits, misses uint64
+	hits, misses obs.Counter
+
+	// onEvict, when set, observes every LRU eviction (the tracer's
+	// memo_evict event). It runs inside the table's write path, so it
+	// must be cheap and must not call back into the table.
+	onEvict func(counter uint32)
 }
 
 type node struct {
@@ -88,11 +94,11 @@ func New(capacity, epochWrites int, compute ComputeFunc) *Table {
 // W value serving many blocks.
 func (t *Table) Lookup(counter uint32) (w mix.Word, hit bool) {
 	if n, ok := t.entries[counter]; ok {
-		t.hits++
+		t.hits.Inc()
 		t.moveToFront(n)
 		return n.val, true
 	}
-	t.misses++
+	t.misses.Inc()
 	return t.compute(uint64(counter)), false
 }
 
@@ -136,22 +142,36 @@ func (t *Table) advanceW(w uint32) {
 // WriteValue exposes the current global write value W.
 func (t *Table) WriteValue() uint32 { return t.writeValue }
 
-// Hits and Misses report lookup statistics.
-func (t *Table) Hits() uint64   { return t.hits }
-func (t *Table) Misses() uint64 { return t.misses }
+// Hits and Misses report lookup statistics (thin views over the obs
+// instruments).
+func (t *Table) Hits() uint64   { return t.hits.Value() }
+func (t *Table) Misses() uint64 { return t.misses.Value() }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
 func (t *Table) HitRate() float64 {
-	total := t.hits + t.misses
-	if total == 0 {
+	h, m := t.hits.Value(), t.misses.Value()
+	if h+m == 0 {
 		return 0
 	}
-	return float64(t.hits) / float64(total)
+	return float64(h) / float64(h+m)
 }
 
 // ResetStats clears the hit/miss counters (per-measurement-window
 // accounting) without touching the table contents.
-func (t *Table) ResetStats() { t.hits, t.misses = 0, 0 }
+func (t *Table) ResetStats() {
+	t.hits.Reset()
+	t.misses.Reset()
+}
+
+// RegisterMetrics exposes the table's counters through a registry
+// under the given labels.
+func (t *Table) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.RegisterCounter("memo_hits_total", &t.hits, labels...)
+	reg.RegisterCounter("memo_misses_total", &t.misses, labels...)
+}
+
+// SetEvictHook installs (or clears, with nil) an eviction observer.
+func (t *Table) SetEvictHook(fn func(counter uint32)) { t.onEvict = fn }
 
 // Len returns the number of memoized values.
 func (t *Table) Len() int { return len(t.entries) }
@@ -180,6 +200,9 @@ func (t *Table) evict() {
 	}
 	t.unlink(victim)
 	delete(t.entries, victim.key)
+	if t.onEvict != nil {
+		t.onEvict(victim.key)
+	}
 }
 
 func (t *Table) pushFront(n *node) {

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("dram_reads_total", L("scheme", "counterlight")).Add(42)
+	r.Gauge("queue_depth").Set(7)
+	h, err := r.Histogram("counter_late_ps", []int64{0, 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(-100)
+	h.Add(2000)
+	h.Add(2000)
+	h.Add(9000)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := buildTestRegistry(t)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE counter_late_ps histogram",
+		`counter_late_ps_bucket{le="0"} 1`,
+		`counter_late_ps_bucket{le="5000"} 3`,
+		`counter_late_ps_bucket{le="+Inf"} 4`,
+		"counter_late_ps_sum 12900",
+		"counter_late_ps_count 4",
+		"# TYPE dram_reads_total counter",
+		`dram_reads_total{scheme="counterlight"} 42`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 7",
+		"",
+	}, "\n")
+	if buf.String() != want {
+		t.Errorf("prometheus exposition:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := buildTestRegistry(t)
+	snap := r.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Series) != len(snap.Series) {
+		t.Fatalf("round trip lost series: %d -> %d", len(snap.Series), len(back.Series))
+	}
+	if v := back.Value("dram_reads_total", L("scheme", "counterlight")); v != 42 {
+		t.Errorf("counter after round trip = %v, want 42", v)
+	}
+	hs, ok := back.Get("counter_late_ps")
+	if !ok {
+		t.Fatal("histogram series missing after round trip")
+	}
+	if hs.Kind != KindHistogram || len(hs.Counts) != 3 || hs.Counts[1] != 2 || hs.Sum != 12900 {
+		t.Errorf("histogram series mangled: %+v", hs)
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", L("path", `a"b\c`+"\n")).Inc()
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `path="a\"b\\c\n"`) {
+		t.Errorf("label not escaped: %s", buf.String())
+	}
+}

@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension of a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing event count with atomic
+// increments. The zero value is ready to use. A Counter must not be
+// copied after first use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter (per-measurement-window accounting; the
+// simulator's windows reset, unlike long-lived Prometheus counters).
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is an instantaneous level (queue depth, backlog) with atomic
+// updates. The zero value is ready to use. A Gauge must not be copied
+// after first use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the level by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Reset zeroes the gauge.
+func (g *Gauge) Reset() { g.v.Store(0) }
+
+// Histogram is a fixed-bin histogram over int64 samples with atomic
+// per-bin counts. Binning matches stats.Histogram exactly: bin i
+// covers [edges[i-1], edges[i]); samples below the first edge land in
+// bin 0 and samples at or above the last edge land in the overflow
+// bin, so the two types are drop-in interchangeable for Fig. 8-style
+// distributions.
+type Histogram struct {
+	edges  []int64
+	counts []atomic.Uint64 // len(edges)+1, last is overflow
+	total  atomic.Uint64
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given ascending bin edges.
+func NewHistogram(edges ...int64) (*Histogram, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("obs: histogram needs at least one edge")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("obs: histogram edges not ascending at %d", i)
+		}
+	}
+	return &Histogram{
+		edges:  append([]int64(nil), edges...),
+		counts: make([]atomic.Uint64, len(edges)+1),
+	}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int64) {
+	i := sort.Search(len(h.edges), func(i int) bool { return v < h.edges[i] })
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+}
+
+// Edges returns a copy of the bin edges.
+func (h *Histogram) Edges() []int64 { return append([]int64(nil), h.edges...) }
+
+// Bins returns the per-bin counts: len(edges)+1 entries, the last
+// being the overflow bin.
+func (h *Histogram) Bins() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Reset zeroes every bin (per-measurement-window accounting).
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.total.Store(0)
+	h.sum.Store(0)
+}
+
+// Series kinds in snapshots and expositions.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// series is one registered (name, labels) -> instrument binding.
+type series struct {
+	name   string
+	labels []Label // sorted by key
+	key    string  // canonical name+labels identity
+	kind   string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry is a collection of metric series. Registration takes a
+// mutex; reads and writes of registered instruments are lock-free.
+type Registry struct {
+	mu     sync.Mutex
+	byKey  map[string]*series
+	sorted bool
+	order  []*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*series)}
+}
+
+func canonLabels(labels []Label) []Label {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+func seriesKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0xff)
+		b.WriteString(l.Key)
+		b.WriteByte(0xfe)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// add installs (or replaces) a series. Replacement semantics let a
+// fresh run re-register its components over a stale run's series; use
+// labels (e.g. scheme=...) to keep multiple runs side by side.
+func (r *Registry) add(s *series) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byKey[s.key]; ok {
+		*old = *s
+		return old
+	}
+	r.byKey[s.key] = s
+	r.order = append(r.order, s)
+	r.sorted = false
+	return s
+}
+
+// lookup returns the existing series for key, if any.
+func (r *Registry) lookup(key string) (*series, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byKey[key]
+	return s, ok
+}
+
+// RegisterCounter binds an existing Counter into the registry,
+// replacing any series with the same name and labels.
+func (r *Registry) RegisterCounter(name string, c *Counter, labels ...Label) {
+	ls := canonLabels(labels)
+	r.add(&series{name: name, labels: ls, key: seriesKey(name, ls), kind: KindCounter, c: c})
+}
+
+// RegisterGauge binds an existing Gauge into the registry.
+func (r *Registry) RegisterGauge(name string, g *Gauge, labels ...Label) {
+	ls := canonLabels(labels)
+	r.add(&series{name: name, labels: ls, key: seriesKey(name, ls), kind: KindGauge, g: g})
+}
+
+// RegisterHistogram binds an existing Histogram into the registry.
+func (r *Registry) RegisterHistogram(name string, h *Histogram, labels ...Label) {
+	ls := canonLabels(labels)
+	r.add(&series{name: name, labels: ls, key: seriesKey(name, ls), kind: KindHistogram, h: h})
+}
+
+// Counter returns the counter registered under (name, labels),
+// creating it if absent.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	ls := canonLabels(labels)
+	key := seriesKey(name, ls)
+	if s, ok := r.lookup(key); ok && s.kind == KindCounter {
+		return s.c
+	}
+	c := &Counter{}
+	r.add(&series{name: name, labels: ls, key: key, kind: KindCounter, c: c})
+	return c
+}
+
+// Gauge returns the gauge registered under (name, labels), creating
+// it if absent.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	ls := canonLabels(labels)
+	key := seriesKey(name, ls)
+	if s, ok := r.lookup(key); ok && s.kind == KindGauge {
+		return s.g
+	}
+	g := &Gauge{}
+	r.add(&series{name: name, labels: ls, key: key, kind: KindGauge, g: g})
+	return g
+}
+
+// Histogram returns the histogram registered under (name, labels),
+// creating it with the given edges if absent.
+func (r *Registry) Histogram(name string, edges []int64, labels ...Label) (*Histogram, error) {
+	ls := canonLabels(labels)
+	key := seriesKey(name, ls)
+	if s, ok := r.lookup(key); ok && s.kind == KindHistogram {
+		return s.h, nil
+	}
+	h, err := NewHistogram(edges...)
+	if err != nil {
+		return nil, err
+	}
+	r.add(&series{name: name, labels: ls, key: key, kind: KindHistogram, h: h})
+	return h, nil
+}
+
+// Series is one metric series in a Snapshot. For counters and gauges
+// Value holds the reading; for histograms Value is the sample total
+// and Edges/Counts/Sum carry the distribution.
+type Series struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	Edges  []int64           `json:"edges,omitempty"`
+	Counts []uint64          `json:"counts,omitempty"`
+	Sum    int64             `json:"sum,omitempty"`
+}
+
+// labelString renders labels as {k="v",...} for sorting and display.
+func (s Series) labelString() string {
+	if len(s.Labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, s.Labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// ID is the series' stable identity: name plus sorted labels.
+func (s Series) ID() string { return s.Name + s.labelString() }
+
+// Snapshot is a point-in-time copy of every series in a registry,
+// sorted by name then labels for deterministic output.
+type Snapshot struct {
+	Series []Series `json:"series"`
+}
+
+// Snapshot copies the current value of every registered series.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	if !r.sorted {
+		sort.SliceStable(r.order, func(i, j int) bool { return r.order[i].key < r.order[j].key })
+		r.sorted = true
+	}
+	order := append([]*series(nil), r.order...)
+	r.mu.Unlock()
+
+	snap := Snapshot{Series: make([]Series, 0, len(order))}
+	for _, s := range order {
+		out := Series{Name: s.name, Kind: s.kind}
+		if len(s.labels) > 0 {
+			out.Labels = make(map[string]string, len(s.labels))
+			for _, l := range s.labels {
+				out.Labels[l.Key] = l.Value
+			}
+		}
+		switch s.kind {
+		case KindCounter:
+			out.Value = float64(s.c.Value())
+		case KindGauge:
+			out.Value = float64(s.g.Value())
+		case KindHistogram:
+			out.Edges = s.h.Edges()
+			out.Counts = s.h.Bins()
+			out.Sum = s.h.Sum()
+			out.Value = float64(s.h.Total())
+		}
+		snap.Series = append(snap.Series, out)
+	}
+	return snap
+}
+
+// Get returns the first series whose name matches and whose labels
+// include every given label (subset match). ok is false when absent.
+func (s Snapshot) Get(name string, labels ...Label) (Series, bool) {
+	for _, se := range s.Series {
+		if se.Name != name {
+			continue
+		}
+		match := true
+		for _, l := range labels {
+			if se.Labels[l.Key] != l.Value {
+				match = false
+				break
+			}
+		}
+		if match {
+			return se, true
+		}
+	}
+	return Series{}, false
+}
+
+// Value is Get reduced to the numeric reading (0 when absent).
+func (s Snapshot) Value(name string, labels ...Label) float64 {
+	se, ok := s.Get(name, labels...)
+	if !ok {
+		return 0
+	}
+	return se.Value
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Errorf("counter after reset = %d, want 0", c.Value())
+	}
+
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramBinningMatchesStats(t *testing.T) {
+	// Same semantics as stats.Histogram: bin i is [edges[i-1], edges[i]).
+	h, err := NewHistogram(0, 5000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{-1, 0, 4999, 5000, 10000, 20000} {
+		h.Add(v)
+	}
+	want := []uint64{1, 2, 1, 2}
+	bins := h.Bins()
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Errorf("bin %d = %d, want %d (all: %v)", i, bins[i], want[i], bins)
+		}
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d, want 6", h.Total())
+	}
+	if h.Sum() != -1+0+4999+5000+10000+20000 {
+		t.Errorf("sum = %d", h.Sum())
+	}
+	h.Reset()
+	if h.Total() != 0 || h.Bins()[1] != 0 {
+		t.Errorf("reset left samples: total=%d bins=%v", h.Total(), h.Bins())
+	}
+}
+
+func TestHistogramRejectsBadEdges(t *testing.T) {
+	if _, err := NewHistogram(); err == nil {
+		t.Error("no edges accepted")
+	}
+	if _, err := NewHistogram(5, 5); err == nil {
+		t.Error("non-ascending edges accepted")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits", L("level", "l1"))
+	b := r.Counter("hits", L("level", "l1"))
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("hits", L("level", "l2"))
+	if a == c {
+		t.Error("distinct labels returned the same counter")
+	}
+	a.Add(3)
+	c.Inc()
+	snap := r.Snapshot()
+	if v := snap.Value("hits", L("level", "l1")); v != 3 {
+		t.Errorf("l1 hits = %v, want 3", v)
+	}
+	if v := snap.Value("hits", L("level", "l2")); v != 1 {
+		t.Errorf("l2 hits = %v, want 1", v)
+	}
+}
+
+func TestRegistryRegisterReplaces(t *testing.T) {
+	r := NewRegistry()
+	var first, second Counter
+	first.Add(10)
+	second.Add(2)
+	r.RegisterCounter("reads_total", &first)
+	r.RegisterCounter("reads_total", &second)
+	snap := r.Snapshot()
+	if got := snap.Value("reads_total"); got != 2 {
+		t.Errorf("replaced series reads %v, want 2 (the newer instrument)", got)
+	}
+	if len(snap.Series) != 1 {
+		t.Errorf("got %d series, want 1", len(snap.Series))
+	}
+}
+
+// TestConcurrentIncrements exercises the lock-free hot path from many
+// goroutines; run under `go test -race` (the standard check gate does).
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("concurrent_total")
+	g := r.Gauge("level")
+	h, err := r.Histogram("lat_ps", []int64{10, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Add(int64(i % 2000))
+				// Concurrent get-or-create of the same series must
+				// also be safe.
+				r.Counter("concurrent_total")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*perWorker)
+	}
+	if h.Total() != workers*perWorker {
+		t.Errorf("histogram total = %d, want %d", h.Total(), workers*perWorker)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz")
+	r.Counter("aa", L("x", "2"))
+	r.Counter("aa", L("x", "1"))
+	r.Gauge("mm")
+	snap := r.Snapshot()
+	var ids []string
+	for _, s := range snap.Series {
+		ids = append(ids, s.ID())
+	}
+	want := []string{`aa{x="1"}`, `aa{x="2"}`, "mm", "zz"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("order = %v, want %v", ids, want)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestTracerRingOverflowEvictsOldest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Emit(int64(i)*1000, PhaseInstant, CatMemo, "hit", A("i", int64(i)))
+	}
+	if tr.Len() != 4 {
+		t.Errorf("len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+	evs := tr.Events()
+	if evs[0].TS != 2000 || evs[len(evs)-1].TS != 5000 {
+		t.Errorf("ring kept wrong window: first=%d last=%d", evs[0].TS, evs[len(evs)-1].TS)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Errorf("events out of order at %d: %v", i, evs)
+		}
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(1, PhaseInstant, CatEpoch, "mode_switch") // must not panic
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil tracer reported state")
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Error("nil tracer export should error")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(2_000_000, PhaseInstant, CatEpoch, "mode_switch", A("mode", 1))
+	tr.Emit(3_000_000, PhaseCounter, CatDRAM, "bus_backlog_ps", A("value", 12500))
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The file must be valid JSON with the trace_event object shape.
+	var doc struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Cat  string           `json:"cat"`
+			Ph   string           `json:"ph"`
+			TS   float64          `json:"ts"`
+			PID  int              `json:"pid"`
+			S    string           `json:"s"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	e0, e1 := doc.TraceEvents[0], doc.TraceEvents[1]
+	if e0.Ph != "i" || e0.S != "g" || e0.TS != 2.0 || e0.Args["mode"] != 1 {
+		t.Errorf("instant event mangled: %+v", e0)
+	}
+	if e1.Ph != "C" || e1.Name != "bus_backlog_ps" || e1.Args["value"] != 12500 {
+		t.Errorf("counter event mangled: %+v", e1)
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Emit(int64(i), PhaseInstant, CatMemo, "hit")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 64 {
+		t.Errorf("len = %d, want full ring of 64", tr.Len())
+	}
+	if tr.Dropped() != 4*1000-64 {
+		t.Errorf("dropped = %d, want %d", tr.Dropped(), 4*1000-64)
+	}
+}

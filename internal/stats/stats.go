@@ -37,6 +37,25 @@ func NewHistogram(edges ...int64) (*Histogram, error) {
 	}, nil
 }
 
+// FromBins reconstructs a Histogram from edges and per-bin counts
+// (len(edges)+1 entries, the last being the overflow bin). It is the
+// bridge from the atomic obs.Histogram back to this package's view
+// type.
+func FromBins(edges []int64, counts []uint64) (*Histogram, error) {
+	h, err := NewHistogram(edges...)
+	if err != nil {
+		return nil, err
+	}
+	if len(counts) != len(edges)+1 {
+		return nil, fmt.Errorf("stats: %d counts for %d edges (want %d)", len(counts), len(edges), len(edges)+1)
+	}
+	copy(h.counts, counts)
+	for _, c := range counts {
+		h.total += c
+	}
+	return h, nil
+}
+
 // Add records one sample.
 func (h *Histogram) Add(v int64) {
 	i := sort.Search(len(h.edges), func(i int) bool { return v < h.edges[i] })
