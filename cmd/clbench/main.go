@@ -6,6 +6,7 @@
 //	clbench                 # run everything (paper order)
 //	clbench -fig 16         # one figure: 3, 5, 8, 9, 16..23, A (no-switch ablation), M (memo ablation), T (Table I)
 //	clbench -quick          # halved measurement windows (~2x faster)
+//	clbench -j 8            # up to 8 concurrent simulations per sweep
 //	clbench -v              # log each simulation as it starts
 package main
 
@@ -13,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"counterlight/internal/figures"
 )
@@ -21,13 +24,17 @@ func main() {
 	figFlag := flag.String("fig", "", "figure to regenerate (3,5,8,9,16,17,18,19,20,21,22,23,A,M,T,E); empty = all")
 	quick := flag.Bool("quick", false, "halve the simulation windows")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations per sweep (1 = serial)")
 	verbose := flag.Bool("v", false, "log each simulation run")
 	flag.Parse()
 
 	r := figures.NewRunner(*quick)
+	r.Workers = *jobs
 	if *verbose {
 		r.Log = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
+	start := time.Now()
+	defer func() { sweepSummary(r, *jobs, time.Since(start)) }()
 
 	gens := map[string]func() (figures.Figure, error){
 		"3":  r.Sec3Micro,
@@ -79,4 +86,19 @@ func main() {
 			fmt.Println(fig)
 		}
 	}
+}
+
+// sweepSummary reports the sweep's cost from the runner's metrics
+// registry: how many simulations ran, their cumulative wall time, and
+// the effective parallelism (cumulative / elapsed — the speedup over a
+// serial sweep when the workers have real cores to run on).
+func sweepSummary(r *figures.Runner, jobs int, elapsed time.Duration) {
+	snap := r.Metrics().Snapshot()
+	runs := snap.Value("figures_runs_total")
+	simSec := snap.Value("figures_run_wall_ns_total") / 1e9
+	if runs == 0 || elapsed <= 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "clbench: %.0f simulations, %.1fs simulate time in %.1fs wall (%.2fx effective parallelism, -j %d)\n",
+		runs, simSec, elapsed.Seconds(), simSec/elapsed.Seconds(), jobs)
 }

@@ -5,6 +5,7 @@
 //
 //	clsim -workload omnetpp -scheme counterlight
 //	clsim -workload mcf -scheme counterless -bw 6.4 -aes256
+//	clsim -workload mcf -seeds 8 -j 4
 //	clsim -list
 package main
 
@@ -16,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"counterlight/internal/core"
 	"counterlight/internal/obs"
@@ -24,13 +26,15 @@ import (
 
 func main() {
 	workload := flag.String("workload", "mcf", "workload name (see -list)")
-	scheme := flag.String("scheme", "counterlight", "noenc | counterless | countermode | countermode-single | counterlight")
+	scheme := flag.String("scheme", "counterlight", strings.Join(core.SchemeNames(), " | "))
 	bw := flag.Float64("bw", 25.6, "DRAM bandwidth in GB/s")
 	aes256 := flag.Bool("aes256", false, "use AES-256 latency (14 ns) instead of AES-128 (10 ns)")
 	threshold := flag.Float64("threshold", 0.60, "epoch bandwidth utilization threshold")
 	noSwitch := flag.Bool("noswitch", false, "disable dynamic mode switching (ablation)")
 	noPrefetch := flag.Bool("noprefetch", false, "disable prefetchers")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
+	seeds := flag.Int("seeds", 1, "run this many seeds (seed, seed+1, ...) and report the normalized-performance distribution")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations for -seeds")
 	list := flag.Bool("list", false, "list workloads and exit")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	baseline := flag.Bool("baseline", false, "also run the no-encryption baseline and report normalized performance")
@@ -56,16 +60,10 @@ func main() {
 		return
 	}
 
-	schemes := map[string]core.Scheme{
-		"noenc":              core.NoEnc,
-		"counterless":        core.Counterless,
-		"countermode":        core.CounterMode,
-		"countermode-single": core.CounterModeSingle,
-		"counterlight":       core.CounterLight,
-	}
-	sc, ok := schemes[*scheme]
+	sc, ok := core.SchemeByName(*scheme)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "clsim: unknown scheme %q\n", *scheme)
+		fmt.Fprintf(os.Stderr, "clsim: unknown scheme %q (want %s)\n",
+			*scheme, strings.Join(core.SchemeNames(), " | "))
 		os.Exit(2)
 	}
 	w, ok := trace.ByName(*workload)
@@ -82,6 +80,21 @@ func main() {
 	cfg.Seed = *seed
 	if *aes256 {
 		cfg = cfg.WithAES256()
+	}
+
+	if *seeds > 1 {
+		st, err := core.RunSeedsParallel(cfg, w, *seeds, *jobs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("workload: %s  scheme: %s  (%d seeds, -j %d)\n", w.Name, sc, *seeds, *jobs)
+		for i, s := range st.Seeds {
+			fmt.Printf("seed %3d: %.4f\n", s, st.PerSeed[i])
+		}
+		fmt.Printf("normalized to noenc: mean %.4f  stddev %.4f  min %.4f  max %.4f\n",
+			st.Mean, st.StdDev, st.Min, st.Max)
+		return
 	}
 
 	// Observability: one observer serves the whole invocation. The

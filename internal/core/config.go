@@ -44,22 +44,13 @@ const (
 	CounterLight
 )
 
-// String names the scheme for reports.
+// String names the scheme for reports (the name it was registered
+// under; see RegisterScheme).
 func (s Scheme) String() string {
-	switch s {
-	case NoEnc:
-		return "noenc"
-	case Counterless:
-		return "counterless"
-	case CounterMode:
-		return "countermode"
-	case CounterModeSingle:
-		return "countermode-single"
-	case CounterLight:
-		return "counterlight"
-	default:
-		return fmt.Sprintf("scheme(%d)", int(s))
+	if e, ok := lookupScheme(s); ok {
+		return e.name
 	}
+	return fmt.Sprintf("scheme(%d)", int(s))
 }
 
 // Times in picoseconds.
@@ -208,9 +199,7 @@ func (c Config) Validate() error {
 	if c.WindowTime <= 0 {
 		return fmt.Errorf("core: window must be positive")
 	}
-	switch c.Scheme {
-	case NoEnc, Counterless, CounterMode, CounterModeSingle, CounterLight:
-	default:
+	if _, ok := lookupScheme(c.Scheme); !ok {
 		return fmt.Errorf("core: unknown scheme %d", int(c.Scheme))
 	}
 	return nil

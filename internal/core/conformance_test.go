@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"counterlight/internal/trace"
+)
+
+// The SchemePipeline conformance goldens: Result fields captured from
+// the pre-refactor simulator (scheme behavior inline in mcRead/mcWrite,
+// commit c216e6f) on the calibration seeds. The refactored pipelines
+// must reproduce these bit-identically — the refactor moves code, it
+// must not move numbers.
+//
+// Regenerate (e.g. after an intentional timing-model change) with:
+//
+//	CONFORMANCE_REGEN=1 go test ./internal/core -run TestSchemeConformance -v
+//
+// and paste the emitted table over conformanceGoldens.
+
+// conformanceCase pins one simulated window.
+type conformanceCase struct {
+	workload string
+	scheme   Scheme
+	bw       float64
+	seed     int64
+}
+
+// conformanceGolden is the expected Result, floats in shortest
+// round-trip form so equality is bit-exact.
+type conformanceGolden struct {
+	instr, llcMiss, llcWB          uint64
+	dramReads, dramWrites, rowHits uint64
+	wbCls, wbTotal                 uint64
+	avgMissLatNS, memoHitRate      string
+	counterLateFrac                string
+}
+
+func conformanceCases() []conformanceCase {
+	var out []conformanceCase
+	for _, sc := range []Scheme{NoEnc, Counterless, CounterMode, CounterModeSingle, CounterLight} {
+		// canneal at 6.4 GB/s saturates the channel, exercising the
+		// epoch monitor's counterless switching; mcf at 25.6 GB/s is the
+		// dependent-load case where counter arrival timing matters.
+		out = append(out,
+			conformanceCase{workload: "canneal", scheme: sc, bw: 6.4, seed: 1},
+			conformanceCase{workload: "mcf", scheme: sc, bw: 25.6, seed: 2},
+		)
+	}
+	return out
+}
+
+func (c conformanceCase) config() Config {
+	cfg := fastCfg(c.scheme)
+	cfg.BandwidthGBs = c.bw
+	cfg.Seed = c.seed
+	cfg.WarmupTime = 300 * us
+	cfg.WindowTime = 400 * us
+	return cfg
+}
+
+func (c conformanceCase) String() string {
+	return fmt.Sprintf("%s/%s/bw%.1f/seed%d", c.workload, c.scheme, c.bw, c.seed)
+}
+
+// f64 renders a float in its shortest exact form.
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func goldenOf(r Result) conformanceGolden {
+	return conformanceGolden{
+		instr:           r.Instructions,
+		llcMiss:         r.LLCMisses,
+		llcWB:           r.LLCWritebacks,
+		dramReads:       r.DRAM.Reads,
+		dramWrites:      r.DRAM.Writes,
+		rowHits:         r.DRAM.RowHits,
+		wbCls:           r.WBCounterless,
+		wbTotal:         r.WBTotal,
+		avgMissLatNS:    f64(r.AvgMissLatNS),
+		memoHitRate:     f64(r.MemoHitRate),
+		counterLateFrac: f64(r.CounterLateFrac),
+	}
+}
+
+// TestSchemeConformance locks every scheme's refactored pipeline to the
+// pre-refactor simulator output.
+func TestSchemeConformance(t *testing.T) {
+	regen := os.Getenv("CONFORMANCE_REGEN") != ""
+	for _, c := range conformanceCases() {
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			w, ok := trace.ByName(c.workload)
+			if !ok {
+				t.Fatalf("workload %s missing", c.workload)
+			}
+			r, err := Run(c.config(), w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenOf(r)
+			if regen {
+				fmt.Printf("\t%q: {%d, %d, %d, %d, %d, %d, %d, %d, %q, %q, %q},\n",
+					c.String(), got.instr, got.llcMiss, got.llcWB,
+					got.dramReads, got.dramWrites, got.rowHits,
+					got.wbCls, got.wbTotal,
+					got.avgMissLatNS, got.memoHitRate, got.counterLateFrac)
+				return
+			}
+			want, ok := conformanceGoldens[c.String()]
+			if !ok {
+				t.Fatalf("no golden for %s (CONFORMANCE_REGEN=1 to capture)", c)
+			}
+			if got != want {
+				t.Errorf("result diverged from pre-refactor golden:\n got: %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}
+
+// conformanceGoldens maps case name to the pre-refactor Result fields.
+var conformanceGoldens = map[string]conformanceGolden{
+	"canneal/noenc/bw6.4/seed1":              {249537, 11531, 3386, 34581, 3386, 105, 0, 0, "300.0356381059752", "0", "0"},
+	"mcf/noenc/bw25.6/seed2":                 {258954, 23831, 1176, 71478, 1176, 69, 0, 0, "47.44006395031681", "0", "0"},
+	"canneal/counterless/bw6.4/seed1":        {237294, 10947, 3144, 32828, 3144, 96, 0, 0, "321.25212332145793", "0", "0"},
+	"mcf/counterless/bw25.6/seed2":           {231708, 21194, 1046, 63562, 1046, 58, 0, 0, "56.24931216381995", "0", "0"},
+	"canneal/countermode/bw6.4/seed1":        {142609, 6332, 948, 35934, 3327, 877, 0, 948, "595.2311179722047", "1", "0.05290587492103601"},
+	"mcf/countermode/bw25.6/seed2":           {229581, 20569, 1012, 120429, 4552, 1699, 0, 1012, "58.637631095337646", "1", "0.1418153532014196"},
+	"canneal/countermode-single/bw6.4/seed1": {196561, 9066, 2225, 36001, 2225, 594, 0, 0, "400.23857555702625", "1", "0.05735715861460401"},
+	"mcf/countermode-single/bw25.6/seed2":    {232800, 21992, 1088, 87864, 1088, 654, 0, 0, "53.38547771917061", "1", "0.10462895598399417"},
+	"canneal/counterlight/bw6.4/seed1":       {249150, 11543, 3391, 34617, 3391, 103, 3391, 3391, "300.04479805943", "1", "0"},
+	"mcf/counterlight/bw25.6/seed2":          {261435, 24079, 1187, 75393, 4355, 148, 0, 1187, "46.74212450683168", "1", "0"},
+}

@@ -366,64 +366,29 @@ func (e *Engine) Read(addr uint64) (cipher.Block, ReadInfo, error) {
 	return cipher.Block{}, info, fmt.Errorf("core: detected uncorrectable error at %#x (%d candidates)", addr, len(res.Candidates))
 }
 
-func modeOf(meta uint64) epoch.Mode {
-	if meta == ctrblock.CounterlessFlag {
-		return epoch.Counterless
-	}
-	return epoch.CounterMode
-}
-
 // macFor recomputes the MAC the block should carry given its decoded
-// metadata. ok is false when the metadata is out of range (cannot be a
-// legal counter), which routes the read to the correction path.
+// metadata, dispatching through the shared mode semantics. ok is false
+// when the metadata is out of range (cannot be a legal counter), which
+// routes the read to the correction path.
 func (e *Engine) macFor(addr uint64, ct cipher.Block, meta uint64) (mac uint64, mode epoch.Mode, ok bool) {
-	if meta == ctrblock.CounterlessFlag {
-		return e.clsFor(addr).MAC(addr, ct, uint32(ctrblock.CounterlessFlag)), epoch.Counterless, true
-	}
-	if meta > ctrblock.CounterMax {
-		return 0, epoch.CounterMode, false
-	}
-	// Counter-mode MAC is computed over the plaintext, which the MC
-	// obtains by XORing the (pre-computable) pad.
-	plain := e.cm.Decrypt(meta, addr, ct)
-	return e.cm.MAC(meta, addr, plain, uint32(meta)), epoch.CounterMode, true
+	mc := e.modeFor(meta)
+	mac, ok = mc.MAC(addr, ct, meta)
+	return mac, mc.Mode(), ok
 }
 
 // decrypt applies the mode the metadata selects, going through the
 // memoization table for counter mode exactly as the hardware would.
 func (e *Engine) decrypt(addr uint64, ct cipher.Block, meta uint64) (cipher.Block, bool) {
-	if meta == ctrblock.CounterlessFlag {
-		return e.clsFor(addr).Decrypt(addr, ct), false
-	}
-	_, hit := e.memo.Lookup(uint32(meta))
-	if hit {
-		e.m.memoHits.Inc()
-	} else {
-		e.m.memoMisses.Inc()
-	}
-	return e.cm.Decrypt(meta, addr, ct), hit
+	return e.modeFor(meta).Decrypt(addr, ct, meta)
 }
 
 // hypotheses builds the two Fig. 14 correction hypotheses: the counter
-// value fetched from the counter block, and the counterless flag.
+// value fetched from the counter block, and the counterless flag
+// (order matters: the counter hypothesis is tried first).
 func (e *Engine) hypotheses(addr uint64) []ecc.Hypothesis {
-	ctr := uint64(e.ctrs.Counter(addr))
 	return []ecc.Hypothesis{
-		{
-			Name: "counter",
-			Meta: ctr,
-			MAC: func(ct cipher.Block, meta uint64) uint64 {
-				plain := e.cm.Decrypt(meta, addr, ct)
-				return e.cm.MAC(meta, addr, plain, uint32(meta))
-			},
-		},
-		{
-			Name: "counterless",
-			Meta: ctrblock.CounterlessFlag,
-			MAC: func(ct cipher.Block, meta uint64) uint64 {
-				return e.clsFor(addr).MAC(addr, ct, uint32(meta))
-			},
-		},
+		counterCipherPath{e}.Hypothesis(addr),
+		counterlessCipherPath{e}.Hypothesis(addr),
 	}
 }
 

@@ -173,7 +173,7 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 // s.ctrHist holding warmup samples, skewing the Fig. 8 histogram.
 func TestStartWindowResetsCounterHist(t *testing.T) {
 	cfg := fastCfg(CounterMode)
-	s := &simulator{cfg: cfg, blockMeta: make(map[uint64]uint32)}
+	s := &simulator{cfg: cfg}
 	s.o = obs.NewObserver(0)
 
 	var err error

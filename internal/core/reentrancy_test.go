@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"counterlight/internal/trace"
+)
+
+// reentrancyCfg is fastCfg with an even smaller window so the
+// concurrent matrix stays cheap under -race.
+func reentrancyCfg(scheme Scheme, seed int64) Config {
+	cfg := fastCfg(scheme)
+	cfg.WarmupTime = 200 * us
+	cfg.WindowTime = 300 * us
+	cfg.Seed = seed
+	return cfg
+}
+
+// sameResult compares every Result field a figure can read, including
+// the counter-arrival histogram bins and the epoch timeline.
+func sameResult(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	gotHist, wantHist := got.CounterLateHist, want.CounterLateHist
+	got.CounterLateHist, want.CounterLateHist = nil, nil
+	gotEpochs, wantEpochs := got.EpochHistory, want.EpochHistory
+	got.EpochHistory, want.EpochHistory = nil, nil
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: concurrent result diverged:\n got %+v\nwant %+v", label, got, want)
+	}
+	if !reflect.DeepEqual(gotHist.Bins(), wantHist.Bins()) {
+		t.Errorf("%s: histogram bins diverged: %v vs %v", label, gotHist.Bins(), wantHist.Bins())
+	}
+	if !reflect.DeepEqual(gotEpochs, wantEpochs) {
+		t.Errorf("%s: epoch history diverged (%d vs %d records)",
+			label, len(gotEpochs), len(wantEpochs))
+	}
+}
+
+// TestRunConcurrentMatchesSequential is the re-entrancy check: Run for
+// every scheme at once, from multiple goroutines, must produce exactly
+// the results the same configs produce one at a time. Run with -race
+// (make race does) this also proves the runs share no mutable state.
+func TestRunConcurrentMatchesSequential(t *testing.T) {
+	schemes := []Scheme{NoEnc, Counterless, CounterMode, CounterLight}
+	w, ok := trace.ByName("mcf")
+	if !ok {
+		t.Fatal("workload mcf missing")
+	}
+
+	seq := make([]Result, len(schemes))
+	for i, sc := range schemes {
+		var err error
+		if seq[i], err = Run(reentrancyCfg(sc, 1), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	conc := make([]Result, len(schemes))
+	errs := make([]error, len(schemes))
+	var wg sync.WaitGroup
+	for i, sc := range schemes {
+		wg.Add(1)
+		go func(i int, sc Scheme) {
+			defer wg.Done()
+			conc[i], errs[i] = Run(reentrancyCfg(sc, 1), w)
+		}(i, sc)
+	}
+	wg.Wait()
+
+	for i, sc := range schemes {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", sc, errs[i])
+		}
+		sameResult(t, sc.String(), conc[i], seq[i])
+	}
+}
+
+// TestRunSeedsParallelMatchesSequential checks the worker-pool seed
+// sweep reports the identical per-seed distribution in the identical
+// order as the serial sweep.
+func TestRunSeedsParallelMatchesSequential(t *testing.T) {
+	w, ok := trace.ByName("mcf")
+	if !ok {
+		t.Fatal("workload mcf missing")
+	}
+	cfg := reentrancyCfg(CounterLight, 1)
+	serial, err := RunSeeds(cfg, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSeedsParallel(cfg, w, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("seed sweep diverged:\nserial %+v\nparallel %+v", serial, par)
+	}
+}
+
+// TestSchemeNamesRoundTrip checks the registry's name lookups agree
+// with Scheme.String for every registered scheme.
+func TestSchemeNamesRoundTrip(t *testing.T) {
+	names := SchemeNames()
+	if len(names) != 5 {
+		t.Fatalf("SchemeNames = %v, want 5 entries", names)
+	}
+	for _, name := range names {
+		sc, ok := SchemeByName(name)
+		if !ok {
+			t.Errorf("SchemeByName(%q) missing", name)
+			continue
+		}
+		if got := sc.String(); got != name {
+			t.Errorf("Scheme(%d).String() = %q, want %q", int(sc), got, name)
+		}
+	}
+	if _, ok := SchemeByName("no-such-scheme"); ok {
+		t.Error("SchemeByName accepted an unknown name")
+	}
+	if got := Scheme(99).String(); got != fmt.Sprintf("scheme(%d)", 99) {
+		t.Errorf("unregistered String() = %q", got)
+	}
+}

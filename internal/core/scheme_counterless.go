@@ -1,0 +1,14 @@
+package core
+
+// counterlessPipeline is AES-XTS-style encryption (TME/SEV, paper
+// §III): no counter traffic at all, but the data-dependent AES starts
+// only after the data arrives, so every read miss pays the full cipher
+// latency on the use path.
+type counterlessPipeline struct {
+	noCounterTraffic
+	ctx MCContext
+}
+
+func (p *counterlessPipeline) ReadMiss(addr uint64, tm, dataDone int64, demand bool) int64 {
+	return dataDone + p.ctx.Config().AESLat
+}

@@ -1,0 +1,61 @@
+package core
+
+// counterModePipeline is the RMCC baseline (paper §II): split counters
+// in a counter cache, integrity-tree verification, and AES
+// memoization. With verify=false it degrades to Fig. 9's diagnostic
+// (CounterModeSingle): each read miss fetches only the missing block's
+// own counter and all writeback counter/tree traffic is dropped,
+// isolating the latency cost of that one access.
+type counterModePipeline struct {
+	counterTraffic
+	verify bool
+}
+
+func newCounterModePipeline(ctx MCContext, verify bool) *counterModePipeline {
+	return &counterModePipeline{counterTraffic: newCounterTraffic(ctx), verify: verify}
+}
+
+func (p *counterModePipeline) ReadMiss(addr uint64, tm, dataDone int64, demand bool) int64 {
+	ctx := p.ctx
+	cfg := ctx.Config()
+	ctr := p.blockMeta(addr / cfg.BlockSize)
+	cbAddr := ctx.Layout().CounterBlockAddr(addr)
+	cc := ctx.CounterCache()
+	ccDone := tm + cfg.CounterCacheLat
+	var ctrKnown int64
+	if hit, ready := cc.Lookup(cbAddr, ccDone); hit {
+		ctrKnown = ready
+	} else {
+		// The counter fetch starts only after the counter cache
+		// reports the miss (§IV-A), and can finish after the data.
+		ctrKnown = ctx.DRAMRead(cbAddr, ccDone)
+		if ev, ok := cc.Insert(cbAddr, ctrKnown, false); ok && ev.Dirty {
+			ctx.PostDRAMWrite(ctrKnown, ev.Addr)
+		}
+		if p.verify {
+			// Verify the counter through the tree: fetch nodes until
+			// one hits in the counter cache. Bandwidth cost;
+			// verification is off the use-latency path.
+			ctx.PostTreeWalk(ctrKnown, addr, 0, false)
+		}
+	}
+	otpReady := ctrKnown + p.memoOTP(ctr, cfg.MemoLat)
+	ready := max(dataDone, otpReady)
+	if demand {
+		ctx.CounterArrival(ctrKnown - dataDone)
+	}
+	return ready
+}
+
+func (p *counterModePipeline) Writeback(addr uint64, tw int64) {
+	ctx := p.ctx
+	cfg := ctx.Config()
+	if !p.verify {
+		// Fig. 9's diagnostic drops all writeback counter traffic but
+		// keeps counters advancing logically.
+		p.bumpCounter(addr / cfg.BlockSize)
+		return
+	}
+	ctx.PostCounterUpdate(tw+cfg.CounterCacheLat, addr)
+	ctx.CountWriteback(false)
+}

@@ -1,0 +1,13 @@
+package core
+
+// noEncPipeline is the unprotected baseline: reads pay only the
+// standard ECC check after the data arrives; writebacks carry no
+// metadata traffic.
+type noEncPipeline struct {
+	noCounterTraffic
+	ctx MCContext
+}
+
+func (p *noEncPipeline) ReadMiss(addr uint64, tm, dataDone int64, demand bool) int64 {
+	return dataDone + p.ctx.Config().ECCCheckLat
+}

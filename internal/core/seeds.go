@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"counterlight/internal/trace"
 )
@@ -24,35 +25,61 @@ type SeedStats struct {
 // the distribution of performance normalized to the no-encryption
 // baseline on the same seed.
 func RunSeeds(cfg Config, w trace.Workload, n int) (SeedStats, error) {
+	return RunSeedsParallel(cfg, w, n, 1)
+}
+
+// RunSeedsParallel is RunSeeds with the per-seed simulation pairs
+// fanned out across a bounded pool of workers goroutines (Run is
+// re-entrant). The reported distribution is deterministic and ordered
+// by seed regardless of the worker count.
+func RunSeedsParallel(cfg Config, w trace.Workload, n, workers int) (SeedStats, error) {
 	var out SeedStats
 	if n < 1 {
 		n = 1
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	start := cfg.Seed
 	if start == 0 {
 		start = 1
 	}
+	perSeed := make([]float64, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		c := cfg
-		c.Seed = start + int64(i)
-		res, base, err := RunPair(c, w)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = start + int64(i)
+			res, base, err := RunPair(c, w)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			perSeed[i] = res.PerfNormalizedTo(base)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return out, err
 		}
-		p := res.PerfNormalizedTo(base)
-		out.Seeds = append(out.Seeds, c.Seed)
-		out.PerSeed = append(out.PerSeed, p)
+	}
+	for i := 0; i < n; i++ {
+		out.Seeds = append(out.Seeds, start+int64(i))
+		out.PerSeed = append(out.PerSeed, perSeed[i])
 	}
 	sum := 0.0
 	out.Min, out.Max = out.PerSeed[0], out.PerSeed[0]
 	for _, p := range out.PerSeed {
 		sum += p
-		if p < out.Min {
-			out.Min = p
-		}
-		if p > out.Max {
-			out.Max = p
-		}
+		out.Min = min(out.Min, p)
+		out.Max = max(out.Max, p)
 	}
 	out.Mean = sum / float64(len(out.PerSeed))
 	if len(out.PerSeed) > 1 {

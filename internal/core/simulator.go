@@ -107,7 +107,9 @@ const (
 // ten samples per 100 µs epoch).
 const samplePeriod = 10 * us
 
-// simulator wires the hierarchy together for one run.
+// simulator wires the hierarchy together for one run. All state is
+// strictly per-run (the struct and everything it owns), so concurrent
+// Run calls never share mutable state.
 type simulator struct {
 	cfg    Config
 	q      sim.Queue[event]
@@ -121,9 +123,9 @@ type simulator struct {
 	memo   *memoize.Table
 	layout *ctrblock.Store // address geometry for counter/tree blocks
 
-	// blockMeta holds each data block's EncryptionMetadata value:
-	// its current counter, or metaFlag for counterless blocks.
-	blockMeta map[uint64]uint32
+	// pipe is the scheme's MC pipeline: all per-scheme read/write
+	// timing behavior lives behind it (see scheme.go).
+	pipe SchemePipeline
 
 	measuring bool
 	missLat   stats.Accumulator
@@ -150,15 +152,17 @@ type simulator struct {
 	lastProgress  int64
 }
 
-const metaFlag = uint32(ctrblock.CounterlessFlag)
-
 // Run simulates the workload under the configuration and returns the
-// measurement-window results.
+// measurement-window results. Run keeps no state outside the local
+// simulator value, so it is safe to call concurrently from multiple
+// goroutines (sweep runners fan scheme×workload matrices out across
+// cores); concurrent runs sharing one cfg.Obs registry must use
+// distinct scheme labels, as RunPair does.
 func Run(cfg Config, w trace.Workload) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	s := &simulator{cfg: cfg, blockMeta: make(map[uint64]uint32)}
+	s := &simulator{cfg: cfg}
 	s.o = cfg.Obs
 	if s.o == nil {
 		s.o = obs.NewObserver(0)
@@ -193,6 +197,9 @@ func Run(cfg Config, w trace.Workload) (Result, error) {
 	})
 	s.ctrHist, err = obs.NewHistogram(0, 5*ns, 10*ns)
 	if err != nil {
+		return Result{}, err
+	}
+	if s.pipe, err = newSchemePipeline(&s.cfg, s); err != nil {
 		return Result{}, err
 	}
 
@@ -259,9 +266,9 @@ func Run(cfg Config, w trace.Workload) (Result, error) {
 			// work settles deterministically.
 			s.mcWrite(e.addr, t)
 		case evCounter:
-			s.counterUpdate(e.addr, t)
+			s.pipe.CounterUpdate(e.addr, t)
 		case evTreeWalk:
-			s.treeWalkStep(e.addr, e.level, e.dirty, t)
+			s.pipe.TreeWalkStep(e.addr, e.level, e.dirty, t)
 		case evDRAMWrite:
 			s.mon.Record(t)
 			s.dram.Access(e.addr, t, true)
@@ -490,64 +497,11 @@ func (s *simulator) fillL3(addr uint64, ready int64) {
 }
 
 // mcRead is the memory controller's LLC-read-miss path: DRAM access
-// plus the scheme's decryption timing (Figs. 7 and 13).
+// plus the scheme pipeline's decryption timing (Figs. 7 and 13).
 func (s *simulator) mcRead(addr uint64, tm int64, demand bool) int64 {
-	cfg := &s.cfg
 	s.mon.Record(tm)
 	dataDone := s.dram.Access(addr, tm, false)
-
-	var ready int64
-	switch cfg.Scheme {
-	case NoEnc:
-		ready = dataDone + cfg.ECCCheckLat
-
-	case Counterless:
-		// The data-dependent AES starts only after the data arrives.
-		ready = dataDone + cfg.AESLat
-
-	case CounterMode, CounterModeSingle:
-		blk := addr / cfg.BlockSize
-		ctr := s.blockMeta[blk]
-		cbAddr := s.layout.CounterBlockAddr(addr)
-		ccDone := tm + cfg.CounterCacheLat
-		var ctrKnown int64
-		if hit, ready := s.ctrC.Lookup(cbAddr, ccDone); hit {
-			ctrKnown = ready
-		} else {
-			// The counter fetch starts only after the counter cache
-			// reports the miss (§IV-A), and can finish after the data.
-			s.mon.Record(ccDone)
-			ctrKnown = s.dram.Access(cbAddr, ccDone, false)
-			if ev, ok := s.ctrC.Insert(cbAddr, ctrKnown, false); ok && ev.Dirty {
-				s.q.Push(ctrKnown, event{kind: evDRAMWrite, addr: ev.Addr})
-			}
-			if cfg.Scheme == CounterMode {
-				// Verify the counter through the tree: fetch nodes
-				// until one hits in the counter cache. Bandwidth cost;
-				// verification is off the use-latency path.
-				s.q.Push(ctrKnown, event{kind: evTreeWalk, addr: addr, level: 0})
-			}
-		}
-		otpReady := ctrKnown + s.otpLatency(ctr)
-		ready = maxInt64(dataDone, otpReady)
-		if demand && s.measuring {
-			s.ctrHist.Add(ctrKnown - dataDone)
-		}
-
-	case CounterLight:
-		// The counter (or flag) decodes from the ECC parity, which is
-		// available MetaDecodeLead before the full block (§IV-D).
-		blk := addr / cfg.BlockSize
-		meta := s.blockMeta[blk]
-		decodeAt := dataDone - cfg.MetaDecodeLead
-		if meta == metaFlag {
-			ready = dataDone + cfg.AESLat // counterless block
-		} else {
-			otpReady := decodeAt + s.otpLatencyCL(meta)
-			ready = maxInt64(dataDone, otpReady)
-		}
-	}
-
+	ready := s.pipe.ReadMiss(addr, tm, dataDone, demand)
 	if demand && s.measuring {
 		s.llcMiss.Inc()
 		s.missLat.Add(ready - tm)
@@ -555,24 +509,16 @@ func (s *simulator) mcRead(addr uint64, tm int64, demand bool) int64 {
 	return ready
 }
 
-// otpLatency charges the memoization table (hit: MemoLat) or a full
-// AES recomputation, counting window statistics.
-func (s *simulator) otpLatency(ctr uint32) int64 {
-	if !s.cfg.MemoizeEnabled {
-		return s.cfg.AESLat
-	}
-	_, hit := s.memo.Lookup(ctr)
-	s.traceMemo(ctr, hit)
+// mcWrite is the LLC-writeback path (posted: consumes bandwidth, never
+// stalls the core). The data write is charged here; the scheme
+// pipeline adds its metadata traffic.
+func (s *simulator) mcWrite(addr uint64, tw int64) {
+	s.mon.Record(tw)
+	s.dram.Access(addr, tw, true)
 	if s.measuring {
-		s.memoRefsW.Inc()
-		if hit {
-			s.memoHitsW.Inc()
-		}
+		s.llcWB.Inc()
 	}
-	if hit {
-		return s.cfg.MemoLat
-	}
-	return s.cfg.AESLat
+	s.pipe.Writeback(addr, tw)
 }
 
 // traceMemo emits the memoization hit/miss event stream.
@@ -587,12 +533,32 @@ func (s *simulator) traceMemo(ctr uint32, hit bool) {
 	s.tr.Emit(s.now, obs.PhaseInstant, obs.CatMemo, name, obs.A("counter", int64(ctr)))
 }
 
-// otpLatencyCL is the Counter-light variant: a memo hit yields the
-// 2 ns decode-to-OTP path of §IV-D.
-func (s *simulator) otpLatencyCL(ctr uint32) int64 {
-	if !s.cfg.MemoizeEnabled {
-		return s.cfg.AESLat
-	}
+// The simulator is the MCContext its scheme pipeline runs against.
+
+func (s *simulator) Config() *Config { return &s.cfg }
+func (s *simulator) Measuring() bool { return s.measuring }
+
+func (s *simulator) DRAMRead(addr uint64, t int64) int64 {
+	s.mon.Record(t)
+	return s.dram.Access(addr, t, false)
+}
+
+func (s *simulator) PostDRAMWrite(t int64, addr uint64) {
+	s.q.Push(t, event{kind: evDRAMWrite, addr: addr})
+}
+
+func (s *simulator) PostCounterUpdate(t int64, addr uint64) {
+	s.q.Push(t, event{kind: evCounter, addr: addr})
+}
+
+func (s *simulator) PostTreeWalk(t int64, addr uint64, level int, dirty bool) {
+	s.q.Push(t, event{kind: evTreeWalk, addr: addr, level: level, dirty: dirty})
+}
+
+func (s *simulator) CounterCache() *cache.Cache { return s.ctrC }
+func (s *simulator) Layout() *ctrblock.Store    { return s.layout }
+
+func (s *simulator) MemoLookup(ctr uint32) bool {
 	_, hit := s.memo.Lookup(ctr)
 	s.traceMemo(ctr, hit)
 	if s.measuring {
@@ -601,126 +567,31 @@ func (s *simulator) otpLatencyCL(ctr uint32) int64 {
 			s.memoHitsW.Inc()
 		}
 	}
-	if hit {
-		return s.cfg.OTPAfterDecode
-	}
-	return s.cfg.AESLat
+	return hit
 }
 
-// treeWalkStep fetches one integrity-tree level of a walk, scheduling
-// the next level after the fetch completes. The walk stops at the
-// first counter-cache hit (that level and everything above it was
-// verified when it was brought in).
-func (s *simulator) treeWalkStep(addr uint64, level int, dirty bool, t int64) {
-	nodes := s.layout.TreeNodeAddrs(addr)
-	if level >= len(nodes) {
-		return
-	}
-	na := nodes[level]
-	if hit, _ := s.ctrC.Lookup(na, t); hit {
-		if dirty {
-			s.ctrC.Write(na, t)
-		}
-		return
-	}
-	s.mon.Record(t)
-	done := s.dram.Access(na, t, false)
-	if ev, ok := s.ctrC.Insert(na, done, dirty); ok && ev.Dirty {
-		s.q.Push(done, event{kind: evDRAMWrite, addr: ev.Addr})
-	}
-	s.q.Push(done, event{kind: evTreeWalk, addr: addr, level: level + 1, dirty: dirty})
+func (s *simulator) NextWriteCounter(old uint32) uint32 {
+	return s.memo.NextWriteCounter(old)
 }
 
-// mcWrite is the LLC-writeback path (posted: consumes bandwidth, never
-// stalls the core).
-func (s *simulator) mcWrite(addr uint64, tw int64) {
-	cfg := &s.cfg
-	s.mon.Record(tw)
-	s.dram.Access(addr, tw, true)
+func (s *simulator) WritebackMode(t int64) epoch.Mode {
+	return s.mon.WritebackMode(t)
+}
+
+func (s *simulator) CounterArrival(delta int64) {
 	if s.measuring {
-		s.llcWB.Inc()
-	}
-	blk := addr / cfg.BlockSize
-
-	switch cfg.Scheme {
-	case NoEnc, Counterless:
-		return
-
-	case CounterModeSingle:
-		// Fig. 9's diagnostic drops all writeback counter traffic but
-		// keeps counters advancing logically.
-		s.bumpCounter(blk)
-		return
-
-	case CounterMode:
-		s.q.Push(tw+cfg.CounterCacheLat, event{kind: evCounter, addr: addr})
-		if s.measuring {
-			s.wbTotal.Inc()
-		}
-		return
-
-	case CounterLight:
-		mode := epoch.CounterMode
-		if cfg.DynamicSwitch {
-			mode = s.mon.WritebackMode(tw)
-		}
-		if s.measuring {
-			s.wbTotal.Inc()
-		}
-		if mode == epoch.Counterless {
-			s.blockMeta[blk] = metaFlag
-			if s.measuring {
-				s.wbCls.Inc()
-			}
-			return
-		}
-		// A block that went counterless re-enters counter mode on its
-		// next counter-mode writeback (the counter keeps its old value
-		// in the counter block and advances past it).
-		s.q.Push(tw+cfg.CounterCacheLat, event{kind: evCounter, addr: addr})
+		s.ctrHist.Add(delta)
 	}
 }
 
-// counterUpdate is the counter-block half of a counter-mode writeback:
-// hit or fetch the counter block, dirty it, advance the counter, and
-// kick off the tree walk.
-func (s *simulator) counterUpdate(addr uint64, t int64) {
-	blk := addr / s.cfg.BlockSize
-	cbAddr := s.layout.CounterBlockAddr(addr)
-	if hit, _ := s.ctrC.Lookup(cbAddr, t); hit {
-		s.ctrC.Write(cbAddr, t)
-		s.bumpCounter(blk)
-		s.q.Push(t, event{kind: evTreeWalk, addr: addr, level: 0, dirty: true})
+func (s *simulator) CountWriteback(counterless bool) {
+	if !s.measuring {
 		return
 	}
-	s.mon.Record(t)
-	done := s.dram.Access(cbAddr, t, false)
-	if ev, ok := s.ctrC.Insert(cbAddr, done, true); ok && ev.Dirty {
-		s.q.Push(done, event{kind: evDRAMWrite, addr: ev.Addr})
+	s.wbTotal.Inc()
+	if counterless {
+		s.wbCls.Inc()
 	}
-	s.bumpCounter(blk)
-	s.q.Push(done, event{kind: evTreeWalk, addr: addr, level: 0, dirty: true})
-}
-
-// bumpCounter advances a block's counter with the memoization-friendly
-// policy (or a plain increment when memoization is disabled).
-func (s *simulator) bumpCounter(blk uint64) {
-	old := s.blockMeta[blk]
-	if old == metaFlag {
-		old = 0 // re-entering counter mode; real HW reads the counter block
-	}
-	if s.cfg.MemoizeEnabled {
-		s.blockMeta[blk] = s.memo.NextWriteCounter(old)
-	} else {
-		s.blockMeta[blk] = old + 1
-	}
-}
-
-func maxInt64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // result assembles the window measurement.

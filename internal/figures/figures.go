@@ -11,8 +11,11 @@ package figures
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"counterlight/internal/core"
+	"counterlight/internal/obs"
 	"counterlight/internal/stats"
 	"counterlight/internal/trace"
 )
@@ -93,21 +96,40 @@ type runKey struct {
 	dynSwitch bool
 	prefetch  bool
 	cores     int
+	memoOff   bool
 }
 
 // Runner runs and memoizes simulations.
 type Runner struct {
 	// Quick shrinks the measurement windows ~2x for bench/test use.
 	Quick bool
-	cache map[runKey]core.Result
-	// Log receives progress lines (nil to disable).
+	// Workers bounds how many simulations a sweep runs at once
+	// (core.Run is re-entrant). <= 1 keeps the classic serial order.
+	// Parallelism never changes a figure: sweeps only prewarm the run
+	// cache, and the (serial) assembly phase reads results from it.
+	Workers int
+	// Log receives progress lines (nil to disable). Parallel sweeps
+	// call it from worker goroutines, so it must be safe for
+	// concurrent use.
 	Log func(string)
+
+	mu    sync.Mutex // guards cache
+	cache map[runKey]core.Result
+
+	// metrics counts completed simulations and their cumulative wall
+	// time (figures_runs_total, figures_run_wall_ns_total).
+	metrics *obs.Registry
 }
 
-// NewRunner creates a Runner.
+// NewRunner creates a serial Runner; set Workers to sweep in parallel.
 func NewRunner(quick bool) *Runner {
-	return &Runner{Quick: quick, cache: make(map[runKey]core.Result)}
+	return &Runner{Quick: quick, cache: make(map[runKey]core.Result), metrics: obs.NewRegistry()}
 }
+
+// Metrics exposes the runner's sweep counters: figures_runs_total and
+// figures_run_wall_ns_total (cumulative simulate wall time, the
+// numerator of a sweep's parallel speedup).
+func (r *Runner) Metrics() *obs.Registry { return r.metrics }
 
 // variant describes a configuration delta from the Table I defaults.
 type variant struct {
@@ -118,9 +140,11 @@ type variant struct {
 	noSwitch  bool
 	noPrefet  bool
 	cores     int
+	memoOff   bool
 }
 
-func (r *Runner) run(w trace.Workload, v variant) (core.Result, error) {
+// cfgFor materializes a variant's configuration and its cache key.
+func (r *Runner) cfgFor(w trace.Workload, v variant) (core.Config, runKey) {
 	cfg := core.DefaultConfig(v.scheme)
 	if v.bw != 0 {
 		cfg.BandwidthGBs = v.bw
@@ -140,6 +164,9 @@ func (r *Runner) run(w trace.Workload, v variant) (core.Result, error) {
 	if v.cores != 0 {
 		cfg.Cores = v.cores
 	}
+	if v.memoOff {
+		cfg.MemoizeEnabled = false
+	}
 	if r.Quick {
 		cfg.WarmupTime /= 2
 		cfg.WindowTime /= 2
@@ -153,20 +180,103 @@ func (r *Runner) run(w trace.Workload, v variant) (core.Result, error) {
 		dynSwitch: cfg.DynamicSwitch,
 		prefetch:  cfg.PrefetchEnabled,
 		cores:     cfg.Cores,
+		memoOff:   !cfg.MemoizeEnabled,
 	}
-	if res, ok := r.cache[key]; ok {
+	return cfg, key
+}
+
+func (r *Runner) run(w trace.Workload, v variant) (core.Result, error) {
+	cfg, key := r.cfgFor(w, v)
+	r.mu.Lock()
+	res, ok := r.cache[key]
+	r.mu.Unlock()
+	if ok {
 		return res, nil
 	}
 	if r.Log != nil {
 		r.Log(fmt.Sprintf("run %s/%s bw=%.1f aes=%dns th=%d%% switch=%v",
 			w.Name, cfg.Scheme, cfg.BandwidthGBs, cfg.AESLat/1000, key.threshold, cfg.DynamicSwitch))
 	}
+	start := time.Now()
 	res, err := core.Run(cfg, w)
 	if err != nil {
 		return core.Result{}, fmt.Errorf("figures: %s/%s: %w", w.Name, cfg.Scheme, err)
 	}
+	wall := time.Since(start)
+	r.metrics.Counter("figures_runs_total").Inc()
+	r.metrics.Counter("figures_run_wall_ns_total").Add(uint64(wall.Nanoseconds()))
+	if r.Log != nil {
+		r.Log(fmt.Sprintf("done %s/%s in %.2fs", w.Name, cfg.Scheme, wall.Seconds()))
+	}
+	r.mu.Lock()
 	r.cache[key] = res
+	r.mu.Unlock()
 	return res, nil
+}
+
+// job is one workload×variant cell of a sweep matrix.
+type job struct {
+	w trace.Workload
+	v variant
+}
+
+// cross builds the full sweep matrix: every workload under every
+// variant.
+func cross(ws []trace.Workload, vs ...variant) []job {
+	jobs := make([]job, 0, len(ws)*len(vs))
+	for _, w := range ws {
+		for _, v := range vs {
+			jobs = append(jobs, job{w, v})
+		}
+	}
+	return jobs
+}
+
+// prewarm fills the run cache for the jobs through a bounded pool of
+// r.Workers simulations. Duplicate and already-cached jobs are dropped
+// before any worker starts. With Workers <= 1 it is a no-op and the
+// assembly phase simulates lazily, exactly like the serial runner
+// always has.
+func (r *Runner) prewarm(jobs []job) error {
+	if r.Workers <= 1 {
+		return nil
+	}
+	seen := make(map[runKey]bool, len(jobs))
+	var todo []job
+	r.mu.Lock()
+	for _, j := range jobs {
+		_, key := r.cfgFor(j.w, j.v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, ok := r.cache[key]; !ok {
+			todo = append(todo, j)
+		}
+	}
+	r.mu.Unlock()
+
+	sem := make(chan struct{}, r.Workers)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for _, j := range todo {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := r.run(j.w, j.v); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}(j)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 func pct(v float64) string { return fmt.Sprintf("%.3f", v) }
@@ -183,6 +293,13 @@ func (r *Runner) Sec3Micro() (Figure, error) {
 		Columns: []string{"config", "miss latency (ns)", "delta vs noenc (ns)"},
 	}
 	micro := trace.MicroPointerChase()
+	if err := r.prewarm(cross([]trace.Workload{micro},
+		variant{scheme: core.NoEnc, noPrefet: true, cores: 1},
+		variant{scheme: core.Counterless, noPrefet: true, cores: 1},
+		variant{scheme: core.Counterless, aes256: true, noPrefet: true, cores: 1},
+	)); err != nil {
+		return f, err
+	}
 	v := variant{scheme: core.NoEnc, noPrefet: true, cores: 1}
 	base, err := r.run(micro, v)
 	if err != nil {
@@ -214,6 +331,13 @@ func (r *Runner) Fig5() (Figure, error) {
 		ID:      "Fig5",
 		Title:   "Counterless performance normalized to no encryption (irregular workloads)",
 		Columns: []string{"workload", "AES-128", "AES-256"},
+	}
+	if err := r.prewarm(cross(trace.IrregularSet(),
+		variant{scheme: core.NoEnc},
+		variant{scheme: core.Counterless},
+		variant{scheme: core.Counterless, aes256: true},
+	)); err != nil {
+		return f, err
 	}
 	var v128, v256 []float64
 	for _, w := range trace.IrregularSet() {
@@ -249,6 +373,9 @@ func (r *Runner) Fig8() (Figure, error) {
 		Title:   "Counter arrival minus data arrival across LLC misses (counter mode/RMCC)",
 		Columns: []string{"workload", "<=0ns", "(0,5]ns", "(5,10]ns", ">10ns", "counter late"},
 	}
+	if err := r.prewarm(cross(trace.IrregularSet(), variant{scheme: core.CounterMode})); err != nil {
+		return f, err
+	}
 	var late []float64
 	for _, w := range trace.IrregularSet() {
 		res, err := r.run(w, variant{scheme: core.CounterMode})
@@ -274,6 +401,13 @@ func (r *Runner) Fig9() (Figure, error) {
 		ID:      "Fig9",
 		Title:   "Overhead of the single per-miss counter access vs counterless (normalized to no encryption)",
 		Columns: []string{"workload", "single-counter", "counterless"},
+	}
+	if err := r.prewarm(cross(trace.IrregularSet(),
+		variant{scheme: core.NoEnc},
+		variant{scheme: core.CounterModeSingle},
+		variant{scheme: core.Counterless},
+	)); err != nil {
+		return f, err
 	}
 	var vs, vc []float64
 	for _, w := range trace.IrregularSet() {
@@ -307,6 +441,15 @@ func (r *Runner) Fig16() (Figure, error) {
 		ID:      "Fig16",
 		Title:   "Performance normalized to no encryption, 25.6 GB/s (irregular workloads)",
 		Columns: []string{"workload", "counterless-128", "counterlight-128", "counterless-256", "counterlight-256"},
+	}
+	if err := r.prewarm(cross(trace.IrregularSet(),
+		variant{scheme: core.NoEnc},
+		variant{scheme: core.Counterless},
+		variant{scheme: core.CounterLight},
+		variant{scheme: core.Counterless, aes256: true},
+		variant{scheme: core.CounterLight, aes256: true},
+	)); err != nil {
+		return f, err
 	}
 	var cl128s, cls128s, cl256s, cls256s []float64
 	for _, w := range trace.IrregularSet() {
@@ -359,6 +502,15 @@ func (r *Runner) Fig17() (Figure, error) {
 		Title:   "Average LLC miss latency overhead vs no encryption (ns)",
 		Columns: []string{"workload", "counterless-128", "counterlight-128", "counterless-256", "counterlight-256"},
 	}
+	if err := r.prewarm(cross(trace.IrregularSet(),
+		variant{scheme: core.NoEnc},
+		variant{scheme: core.Counterless},
+		variant{scheme: core.CounterLight},
+		variant{scheme: core.Counterless, aes256: true},
+		variant{scheme: core.CounterLight, aes256: true},
+	)); err != nil {
+		return f, err
+	}
 	var d128c, d128l, d256c, d256l []float64
 	for _, w := range trace.IrregularSet() {
 		base, err := r.run(w, variant{scheme: core.NoEnc})
@@ -410,6 +562,15 @@ func (r *Runner) Fig18() (Figure, error) {
 		Title:   "DRAM bandwidth utilization",
 		Columns: []string{"workload", "noenc@25.6", "counterless@25.6", "counterlight@25.6", "noenc@6.4", "counterlight@6.4"},
 	}
+	if err := r.prewarm(cross(trace.IrregularSet(),
+		variant{scheme: core.NoEnc},
+		variant{scheme: core.Counterless},
+		variant{scheme: core.CounterLight},
+		variant{scheme: core.NoEnc, bw: 6.4},
+		variant{scheme: core.CounterLight, bw: 6.4},
+	)); err != nil {
+		return f, err
+	}
 	var u0, u1, u2, u3, u4 []float64
 	for _, w := range trace.IrregularSet() {
 		vals := make([]float64, 5)
@@ -450,6 +611,12 @@ func (r *Runner) Fig19() (Figure, error) {
 		Title:   "DRAM energy per instruction, counter-light normalized to counterless",
 		Columns: []string{"workload", "normalized energy/instr"},
 	}
+	if err := r.prewarm(cross(trace.IrregularSet(),
+		variant{scheme: core.Counterless},
+		variant{scheme: core.CounterLight},
+	)); err != nil {
+		return f, err
+	}
 	var vals []float64
 	for _, w := range trace.IrregularSet() {
 		cls, err := r.run(w, variant{scheme: core.Counterless})
@@ -476,6 +643,13 @@ func (r *Runner) Fig20() (Figure, error) {
 		ID:      "Fig20",
 		Title:   "Performance at 6.4 GB/s normalized to no encryption",
 		Columns: []string{"workload", "counterless", "counterlight", "counterlight/counterless"},
+	}
+	if err := r.prewarm(cross(trace.IrregularSet(),
+		variant{scheme: core.NoEnc, bw: 6.4},
+		variant{scheme: core.Counterless, bw: 6.4},
+		variant{scheme: core.CounterLight, bw: 6.4},
+	)); err != nil {
+		return f, err
 	}
 	var worst float64 = 10
 	var cls6, cl6 []float64
@@ -516,6 +690,14 @@ func (r *Runner) Fig21() (Figure, error) {
 		ID:      "Fig21",
 		Title:   "LLC writebacks using counterless mode (counter-light)",
 		Columns: []string{"workload", "th=10%@6.4", "th=60%@6.4", "th=80%@6.4", "th=60%@25.6"},
+	}
+	if err := r.prewarm(cross(trace.IrregularSet(),
+		variant{scheme: core.CounterLight, bw: 6.4, threshold: 0.10},
+		variant{scheme: core.CounterLight, bw: 6.4, threshold: 0.60},
+		variant{scheme: core.CounterLight, bw: 6.4, threshold: 0.80},
+		variant{scheme: core.CounterLight, bw: 25.6, threshold: 0.60},
+	)); err != nil {
+		return f, err
 	}
 	var m10, m60, m80, mRef []float64
 	for _, w := range trace.IrregularSet() {
@@ -563,6 +745,14 @@ func (r *Runner) Fig22() (Figure, error) {
 		Title:   "Performance vs bandwidth threshold at 6.4 GB/s, normalized to counterless",
 		Columns: []string{"workload", "th=10%", "th=60%", "th=80%"},
 	}
+	if err := r.prewarm(cross(trace.IrregularSet(),
+		variant{scheme: core.Counterless, bw: 6.4},
+		variant{scheme: core.CounterLight, bw: 6.4, threshold: 0.10},
+		variant{scheme: core.CounterLight, bw: 6.4, threshold: 0.60},
+		variant{scheme: core.CounterLight, bw: 6.4, threshold: 0.80},
+	)); err != nil {
+		return f, err
+	}
 	var m10, m60, m80 []float64
 	for _, w := range trace.IrregularSet() {
 		cls, err := r.run(w, variant{scheme: core.Counterless, bw: 6.4})
@@ -604,6 +794,16 @@ func (r *Runner) Fig23() (Figure, error) {
 		ID:      "Fig23",
 		Title:   "Regular workloads normalized to no encryption",
 		Columns: []string{"workload", "counterless@25.6", "counterlight@25.6", "counterless@6.4", "counterlight@6.4"},
+	}
+	if err := r.prewarm(cross(trace.RegularSet(),
+		variant{scheme: core.NoEnc, bw: 25.6},
+		variant{scheme: core.Counterless, bw: 25.6},
+		variant{scheme: core.CounterLight, bw: 25.6},
+		variant{scheme: core.NoEnc, bw: 6.4},
+		variant{scheme: core.Counterless, bw: 6.4},
+		variant{scheme: core.CounterLight, bw: 6.4},
+	)); err != nil {
+		return f, err
 	}
 	var a, b, c, d []float64
 	for _, w := range trace.RegularSet() {
@@ -651,6 +851,13 @@ func (r *Runner) AblationNoSwitch() (Figure, error) {
 		Title:   "Ablation: counter-light without dynamic switching at 6.4 GB/s, normalized to counterless",
 		Columns: []string{"workload", "with switch", "without switch"},
 	}
+	if err := r.prewarm(cross(trace.IrregularSet(),
+		variant{scheme: core.Counterless, bw: 6.4},
+		variant{scheme: core.CounterLight, bw: 6.4},
+		variant{scheme: core.CounterLight, bw: 6.4, noSwitch: true},
+	)); err != nil {
+		return f, err
+	}
 	var on, off []float64
 	for _, w := range trace.IrregularSet() {
 		cls, err := r.run(w, variant{scheme: core.Counterless, bw: 6.4})
@@ -685,7 +892,13 @@ func (r *Runner) AblationMemo() (Figure, error) {
 		Title:   "Ablation: counter-light with the memoization table disabled, normalized to no encryption",
 		Columns: []string{"workload", "memo on", "memo off"},
 	}
-	// The memo toggle is not part of variant; run it directly.
+	if err := r.prewarm(cross(trace.IrregularSet(),
+		variant{scheme: core.NoEnc},
+		variant{scheme: core.CounterLight},
+		variant{scheme: core.CounterLight, memoOff: true},
+	)); err != nil {
+		return f, err
+	}
 	var on, off []float64
 	for _, w := range trace.IrregularSet() {
 		base, err := r.run(w, variant{scheme: core.NoEnc})
@@ -696,13 +909,7 @@ func (r *Runner) AblationMemo() (Figure, error) {
 		if err != nil {
 			return f, err
 		}
-		cfg := core.DefaultConfig(core.CounterLight)
-		cfg.MemoizeEnabled = false
-		if r.Quick {
-			cfg.WarmupTime /= 2
-			cfg.WindowTime /= 2
-		}
-		res, err := core.Run(cfg, w)
+		res, err := r.run(w, variant{scheme: core.CounterLight, memoOff: true})
 		if err != nil {
 			return f, err
 		}

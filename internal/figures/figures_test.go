@@ -86,3 +86,40 @@ func TestFigureCSV(t *testing.T) {
 		t.Errorf("CSV:\n%q\nwant\n%q", got, want)
 	}
 }
+
+// TestRunnerCacheKeysMemo extends the key-collision check to the
+// memoization toggle.
+func TestRunnerCacheKeysMemo(t *testing.T) {
+	k1 := runKey{workload: "x", scheme: 1, bwTenths: 256, aesLat: 10000, threshold: 60, dynSwitch: true, prefetch: true, cores: 4}
+	k2 := k1
+	k2.memoOff = true
+	if k1 == k2 {
+		t.Error("memoOff variants collide")
+	}
+}
+
+// TestParallelSweepMatchesSerial renders the cheapest figure with a
+// serial runner and a 4-worker runner; the tables must be identical
+// (parallelism only prewarms the cache, never changes results).
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	serial := NewRunner(true)
+	par := NewRunner(true)
+	par.Workers = 4
+	fs, err := serial.Sec3Micro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := par.Sec3Micro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.String() != fp.String() {
+		t.Errorf("parallel sweep diverged:\n%s\nvs\n%s", fs, fp)
+	}
+	if got := par.Metrics().Snapshot().Value("figures_runs_total"); got != 3 {
+		t.Errorf("figures_runs_total = %v, want 3", got)
+	}
+}
