@@ -8,16 +8,25 @@
 //	clbench -quick          # halved measurement windows (~2x faster)
 //	clbench -j 8            # up to 8 concurrent simulations per sweep
 //	clbench -v              # log each simulation as it starts
+//	clbench -serve :8080    # watch the sweep live in a browser
+//	clbench -snapshots out/ # one metrics-JSON snapshot per simulated cell
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sync"
 	"time"
 
+	"counterlight/internal/core"
 	"counterlight/internal/figures"
+	"counterlight/internal/obs"
+	"counterlight/internal/obs/serve"
+	"counterlight/internal/trace"
 )
 
 func main() {
@@ -26,6 +35,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations per sweep (1 = serial)")
 	verbose := flag.Bool("v", false, "log each simulation run")
+	serveAddr := flag.String("serve", "", "serve live telemetry over HTTP on this address while the sweep runs (e.g. :8080)")
+	snapshots := flag.String("snapshots", "", "write one metrics-JSON snapshot per simulated cell into this directory (clreport -compare input)")
 	flag.Parse()
 
 	r := figures.NewRunner(*quick)
@@ -33,6 +44,33 @@ func main() {
 	if *verbose {
 		r.Log = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
+
+	var observers []func(trace.Workload, *core.Config) func(core.Result, error)
+	if *serveAddr != "" {
+		srv := serve.New()
+		addr, err := srv.ListenAndServe(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clbench: -serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "clbench: serving live telemetry on http://%s\n", addr)
+		observers = append(observers, srv.Pool().Observe)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // exiting anyway
+		}()
+	}
+	if *snapshots != "" {
+		sw, err := newSnapshotWriter(*snapshots)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clbench: -snapshots: %v\n", err)
+			os.Exit(1)
+		}
+		observers = append(observers, sw.observe)
+	}
+	r.Observe = combineObservers(observers)
+
 	start := time.Now()
 	defer func() { sweepSummary(r, *jobs, time.Since(start)) }()
 
@@ -84,6 +122,78 @@ func main() {
 			fmt.Printf("# %s: %s\n%s\n", fig.ID, fig.Title, fig.CSV())
 		} else {
 			fmt.Println(fig)
+		}
+	}
+}
+
+// combineObservers folds several Runner.Observe hooks into one (nil
+// when there are none).
+func combineObservers(hooks []func(trace.Workload, *core.Config) func(core.Result, error)) func(trace.Workload, *core.Config) func(core.Result, error) {
+	switch len(hooks) {
+	case 0:
+		return nil
+	case 1:
+		return hooks[0]
+	}
+	return func(w trace.Workload, cfg *core.Config) func(core.Result, error) {
+		dones := make([]func(core.Result, error), 0, len(hooks))
+		for _, h := range hooks {
+			if done := h(w, cfg); done != nil {
+				dones = append(dones, done)
+			}
+		}
+		return func(res core.Result, err error) {
+			for _, d := range dones {
+				d(res, err)
+			}
+		}
+	}
+}
+
+// snapshotWriter dumps each completed simulation's metrics registry as
+// one JSON snapshot file per cell: <scheme>__<workload>__bw<GBs>.json,
+// with a -2, -3, ... suffix when a sweep revisits the same cell under
+// a different knob (threshold, AES width, ...).
+type snapshotWriter struct {
+	dir  string
+	mu   sync.Mutex
+	seen map[string]int
+}
+
+func newSnapshotWriter(dir string) (*snapshotWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &snapshotWriter{dir: dir, seen: make(map[string]int)}, nil
+}
+
+func (sw *snapshotWriter) observe(w trace.Workload, cfg *core.Config) func(core.Result, error) {
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewObserver(0)
+	}
+	reg := cfg.Obs.Metrics
+	base := fmt.Sprintf("%s__%s__bw%g", cfg.Scheme, w.Name, cfg.BandwidthGBs)
+	sw.mu.Lock()
+	sw.seen[base]++
+	if n := sw.seen[base]; n > 1 {
+		base = fmt.Sprintf("%s-%d", base, n)
+	}
+	sw.mu.Unlock()
+	path := filepath.Join(sw.dir, base+".json")
+
+	return func(_ core.Result, err error) {
+		if err != nil {
+			return
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			err = reg.Snapshot().WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clbench: snapshot %s: %v\n", path, err)
 		}
 	}
 }

@@ -16,6 +16,11 @@ import (
 // can contribute several columns when its registry holds series for
 // more than one scheme (e.g. a `clsim -baseline` run).
 func compareSnapshots(paths []string) error {
+	paths, err := expandSnapshotDirs(paths)
+	if err != nil {
+		return err
+	}
+
 	type cell struct {
 		val float64
 		set bool
@@ -90,6 +95,33 @@ func compareSnapshots(paths []string) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// expandSnapshotDirs replaces each directory argument with its *.json
+// files in sorted order, so a whole `clbench -snapshots` directory can
+// be compared in one call.
+func expandSnapshotDirs(paths []string) ([]string, error) {
+	var out []string
+	for _, path := range paths {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		if !fi.IsDir() {
+			out = append(out, path)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(path, "*.json"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("%s: no *.json snapshots", path)
+		}
+		sort.Strings(matches)
+		out = append(out, matches...)
+	}
+	return out, nil
 }
 
 // rowKey renders a series name plus its non-scheme labels.

@@ -7,6 +7,7 @@
 //	clreport          # full windows (the numbers EXPERIMENTS.md cites)
 //	clreport -quick   # halved windows, ~2x faster
 //	clreport -compare a.json b.json   # diff clsim -metrics-json snapshots
+//	clreport -compare snapdir/        # every *.json in a clbench -snapshots dir
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "halve the simulation windows")
 	verbose := flag.Bool("v", false, "log each simulation run")
-	compare := flag.Bool("compare", false, "compare clsim -metrics-json snapshot files instead of running the scorecard")
+	compare := flag.Bool("compare", false, "compare metrics-JSON snapshot files (or directories of them) instead of running the scorecard")
 	flag.Parse()
 
 	if *compare {

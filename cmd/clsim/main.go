@@ -6,21 +6,28 @@
 //	clsim -workload omnetpp -scheme counterlight
 //	clsim -workload mcf -scheme counterless -bw 6.4 -aes256
 //	clsim -workload mcf -seeds 8 -j 4
+//	clsim -workload pchase128M -serve :8080 -series run.csv
 //	clsim -list
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
+	"time"
 
 	"counterlight/internal/core"
 	"counterlight/internal/obs"
+	"counterlight/internal/obs/serve"
+	"counterlight/internal/obs/timeseries"
 	"counterlight/internal/trace"
 )
 
@@ -45,6 +52,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	progress := flag.Bool("progress", false, "print a periodic progress line (sim-time, IPC, epoch mode) on stderr")
+	serveAddr := flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :8080, 127.0.0.1:0); the process keeps serving after the run until interrupted")
+	seriesFile := flag.String("series", "", "write the per-epoch time series to this file (.csv, else JSON)")
 	flag.Parse()
 
 	if *list {
@@ -83,6 +92,9 @@ func main() {
 	}
 
 	if *seeds > 1 {
+		if *serveAddr != "" || *seriesFile != "" {
+			fmt.Fprintln(os.Stderr, "clsim: -serve/-series apply to single runs; ignored with -seeds")
+		}
 		st, err := core.RunSeedsParallel(cfg, w, *seeds, *jobs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clsim: %v\n", err)
@@ -114,8 +126,33 @@ func main() {
 		observer = obs.NewObserver(cap)
 		cfg.Obs = observer
 	}
+	// Live telemetry: the progress line, the series export, and the
+	// monitoring server all consume the same per-epoch sample stream
+	// (cfg.Epochs); none of them perturbs the result.
+	var rec *timeseries.Recorder
+	var pubs []obs.Publisher
+	if *seriesFile != "" {
+		rec = timeseries.NewRecorder(0)
+		pubs = append(pubs, rec)
+	}
 	if *progress {
-		cfg.Progress = progressLine
+		pubs = append(pubs, obs.PublisherFunc(epochProgress()))
+	}
+	cfg.Epochs = obs.Tee(pubs...)
+
+	var srv *serve.Server
+	var srvAddr string
+	var runDone func(error)
+	if *serveAddr != "" {
+		srv = serve.New()
+		var err error
+		srvAddr, err = srv.ListenAndServe(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clsim: -serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "clsim: serving live telemetry on http://%s\n", srvAddr)
+		_, runDone = srv.Pool().Attach(w.Name, &cfg)
 	}
 
 	if *cpuProfile != "" {
@@ -133,6 +170,9 @@ func main() {
 	}
 
 	res, err := core.Run(cfg, w)
+	if runDone != nil {
+		runDone(err)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clsim: %v\n", err)
 		os.Exit(1)
@@ -174,12 +214,22 @@ func main() {
 		if *baseline {
 			bcfg := cfg
 			bcfg.Scheme = core.NoEnc
+			// The primary run's recorder and progress line must not see
+			// baseline epochs; the server tracks it as its own run.
+			bcfg.Epochs = nil
 			if observer != nil {
 				// Share the registry (series are scheme-labeled) but not
 				// the trace: a second timeline would corrupt the file.
 				bcfg.Obs = &obs.Observer{Metrics: observer.Metrics}
 			}
+			var bdone func(error)
+			if srv != nil {
+				_, bdone = srv.Pool().Attach(w.Name, &bcfg)
+			}
 			base, err := core.Run(bcfg, w)
+			if bdone != nil {
+				bdone(err)
+			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "clsim: baseline: %v\n", err)
 				os.Exit(1)
@@ -217,6 +267,9 @@ func main() {
 			}
 		}
 	}
+	if rec != nil {
+		writeSeries(*seriesFile, rec)
+	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err == nil {
@@ -230,6 +283,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, "clsim: memprofile: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "clsim: run complete; still serving on http://%s (interrupt to exit)\n", srvAddr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // exiting anyway
+	}
+}
+
+// writeSeries exports the recorded per-epoch samples, picking CSV or
+// JSON from the file extension.
+func writeSeries(path string, rec *timeseries.Recorder) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = timeseries.WriteTo(f, rec.Samples(), timeseries.FormatForPath(path))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clsim: series: %v\n", err)
+		os.Exit(1)
+	}
+	if n := rec.Evicted(); n > 0 {
+		fmt.Fprintf(os.Stderr, "clsim: series ring overflowed; oldest %d epochs evicted\n", n)
 	}
 }
 
@@ -248,15 +330,30 @@ func writeSnapshot(path string, snap obs.Snapshot, write func(obs.Snapshot, io.W
 	}
 }
 
-// progressLine renders the periodic progress report on stderr,
-// overwriting itself with \r.
-func progressLine(p core.ProgressInfo) {
-	phase := "warmup"
-	if p.Measuring {
-		phase = "measure"
+// epochProgress returns the -progress renderer: a stderr status line
+// (overwriting itself with \r) fed by the same per-epoch sample
+// stream the series recorder and the monitoring server consume,
+// repainted roughly once per simulated millisecond and immediately on
+// a mid-epoch mode switch.
+func epochProgress() func(obs.EpochSample) {
+	const ms = int64(1_000_000_000) // picoseconds
+	var lastTS int64
+	return func(s obs.EpochSample) {
+		if s.TS-lastTS < ms && !s.SwitchedMid {
+			return
+		}
+		lastTS = s.TS
+		phase := "warmup"
+		if s.Measuring {
+			phase = "measure"
+		}
+		mode := s.Mode
+		if s.SwitchedMid {
+			mode = "counterless"
+		}
+		fmt.Fprintf(os.Stderr, "\r[%s] sim %8.2f ms  instr %12d  IPC %6.3f  mode %-11s  switches %3d",
+			phase, float64(s.TS)/1e9, s.Instructions, s.IPC, mode, s.ModeSwitches)
 	}
-	fmt.Fprintf(os.Stderr, "\r[%s] sim %8.2f ms  instr %12d  IPC %6.3f  mode %-11s",
-		phase, float64(p.SimPS)/1e9, p.Instructions, p.IPC, p.Mode)
 }
 
 // jsonResult is the stable machine-readable result shape.

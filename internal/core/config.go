@@ -114,6 +114,12 @@ type Config struct {
 	// — the pipeline's sim-time event stream. When nil, Run uses a
 	// private observer so the Stats() views still work.
 	Obs *obs.Observer
+	// Epochs, when set, receives one obs.EpochSample at every closed
+	// epoch boundary of the bandwidth monitor — the live-telemetry
+	// seam the timeseries recorder and the monitoring server attach
+	// through. When nil the simulator assembles no samples, keeping
+	// the hot path allocation-free.
+	Epochs obs.Publisher
 	// Progress, when set, is called roughly every ProgressEvery
 	// picoseconds of simulated time with a status sample (clsim's
 	// stderr progress line).

@@ -11,6 +11,7 @@ import (
 	"counterlight/internal/epoch"
 	"counterlight/internal/memoize"
 	"counterlight/internal/obs"
+	"counterlight/internal/obs/timeseries"
 	"counterlight/internal/trace"
 )
 
@@ -165,6 +166,86 @@ func TestObservabilityDoesNotPerturbResults(t *testing.T) {
 	if len(bare.EpochHistory) != len(observed.EpochHistory) {
 		t.Errorf("epoch history diverged: %d vs %d records",
 			len(bare.EpochHistory), len(observed.EpochHistory))
+	}
+}
+
+// TestEpochPublisherDoesNotPerturbResults extends the observability
+// invariant to the live-telemetry seam: attaching an epoch publisher
+// (the timeseries recorder) must leave the Result bit-identical, while
+// the recorder sees one well-formed sample per closed epoch.
+func TestEpochPublisherDoesNotPerturbResults(t *testing.T) {
+	cfg := fastCfg(CounterLight)
+	cfg.BandwidthGBs = 6.4 // starve the channel so modes actually switch
+	w, _ := trace.ByName("mcf")
+	bare, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := timeseries.NewRecorder(0)
+	cfg.Epochs = rec
+	cfg.Obs = obs.NewObserver(0)
+	observed, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Instructions != observed.Instructions || bare.LLCMisses != observed.LLCMisses ||
+		bare.DRAM != observed.DRAM || bare.AvgMissLatNS != observed.AvgMissLatNS ||
+		bare.WBCounterless != observed.WBCounterless || bare.WBTotal != observed.WBTotal {
+		t.Errorf("epoch publisher changed the run:\nbare:     %v\nobserved: %v", bare, observed)
+	}
+
+	ss := rec.Samples()
+	if len(ss) == 0 {
+		t.Fatal("recorder saw no epoch samples")
+	}
+	if len(ss) != len(observed.EpochHistory) {
+		t.Errorf("recorder has %d samples, EpochHistory %d records", len(ss), len(observed.EpochHistory))
+	}
+	for i, s := range ss {
+		if s.Epoch != uint64(i+1) {
+			t.Fatalf("sample %d has epoch index %d", i, s.Epoch)
+		}
+		if h := observed.EpochHistory[i]; s.Utilization != h.Utilization ||
+			s.Mode != h.StartMode.String() || s.SwitchedMid != h.SwitchedMid {
+			t.Fatalf("sample %d disagrees with EpochHistory: %+v vs %+v", i, s, h)
+		}
+		if i > 0 && (s.TS <= ss[i-1].TS || s.MetaReads < ss[i-1].MetaReads ||
+			s.ModeSwitches < ss[i-1].ModeSwitches) {
+			t.Fatalf("sample %d not monotonic after %d", i, i-1)
+		}
+	}
+	last := ss[len(ss)-1]
+	if last.ModeSwitches == 0 {
+		t.Error("no mode switches observed on the starved channel")
+	}
+
+	// The overhead-traffic counters are registered on the registry too.
+	snap := cfg.Obs.Metrics.Snapshot()
+	if got := snap.Value("sim_meta_reads_total", obs.L("scheme", "counterlight")); got != float64(last.MetaReads) {
+		t.Errorf("sim_meta_reads_total = %v, last sample MetaReads = %d", got, last.MetaReads)
+	}
+}
+
+// TestEpochSampleMetaTraffic: a counter-fetching scheme's samples must
+// carry its counter-block/tree overhead traffic.
+func TestEpochSampleMetaTraffic(t *testing.T) {
+	cfg := fastCfg(CounterMode)
+	rec := timeseries.NewRecorder(0)
+	cfg.Epochs = rec
+	w, _ := trace.ByName("mcf")
+	if _, err := Run(cfg, w); err != nil {
+		t.Fatal(err)
+	}
+	last, ok := rec.Last()
+	if !ok {
+		t.Fatal("no samples recorded")
+	}
+	if last.MetaReads == 0 {
+		t.Error("countermode run recorded no counter/tree overhead reads")
+	}
+	if last.MemoHitRate == 0 {
+		t.Error("countermode run recorded no RMCC hit rate")
 	}
 }
 

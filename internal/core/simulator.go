@@ -150,6 +150,18 @@ type simulator struct {
 	sampleEvery   int64 // 0 disables the evSample stream
 	progressEvery int64
 	lastProgress  int64
+
+	// Live telemetry: pub receives one EpochSample per closed epoch
+	// (nil when no recorder/server is attached, costing nothing).
+	// metaReads/metaWrites count the scheme's counter-block and
+	// integrity-tree DRAM traffic over the whole run — run-scoped,
+	// like the epoch timeline, so adjacent samples difference cleanly.
+	pub          obs.Publisher
+	metaReads    obs.Counter
+	metaWrites   obs.Counter
+	modeSwitches uint64     // cumulative mode transitions (boundary + mid-epoch)
+	lastEndMode  epoch.Mode // mode in effect when the previous epoch closed
+	eccTrials    *obs.Histogram
 }
 
 // Run simulates the workload under the configuration and returns the
@@ -168,6 +180,7 @@ func Run(cfg Config, w trace.Workload) (Result, error) {
 		s.o = obs.NewObserver(0)
 	}
 	s.tr = s.o.Trace
+	s.pub = cfg.Epochs
 
 	var err error
 	if s.l3, err = cache.New(cfg.L3Size, cfg.BlockSize, cfg.L3Ways); err != nil {
@@ -271,6 +284,7 @@ func Run(cfg Config, w trace.Workload) (Result, error) {
 			s.pipe.TreeWalkStep(e.addr, e.level, e.dirty, t)
 		case evDRAMWrite:
 			s.mon.Record(t)
+			s.metaWrites.Inc()
 			s.dram.Access(e.addr, t, true)
 		case evSample:
 			s.sample(t)
@@ -312,13 +326,67 @@ func (s *simulator) registerMetrics() {
 		s.l2[c].RegisterMetrics(reg, lbl, obs.L("level", "l2"), core)
 	}
 
+	reg.RegisterCounter("sim_meta_reads_total", &s.metaReads, lbl)
+	reg.RegisterCounter("sim_meta_writes_total", &s.metaWrites, lbl)
+	s.tr.RegisterMetrics(reg)
+
+	// ECC trial distribution for the telemetry samples: present only
+	// when a functional Engine shares this registry (the timing model
+	// runs no correction trials itself).
+	s.eccTrials = reg.FindHistogram("engine_ecc_trials", lbl)
+
 	s.mon.SetTracer(s.tr)
+	if s.pub != nil {
+		s.mon.SetBoundaryHook(s.publishEpoch)
+	}
 	if s.tr != nil {
 		s.memo.SetEvictHook(func(key uint32) {
 			s.tr.Emit(s.now, obs.PhaseInstant, obs.CatMemo, "memo_evict",
 				obs.A("counter", int64(key)))
 		})
 	}
+}
+
+// publishEpoch assembles and publishes the closed epoch's telemetry
+// sample. It runs inside the monitor's roll and only reads simulator
+// state, so — like the tracer — it cannot perturb the run.
+func (s *simulator) publishEpoch(boundary int64, index uint64, rec epoch.Record) {
+	if rec.StartMode != s.lastEndMode {
+		s.modeSwitches++ // epoch-boundary transition
+	}
+	endMode := rec.StartMode
+	if rec.SwitchedMid {
+		endMode = epoch.Counterless
+		s.modeSwitches++
+	}
+	s.lastEndMode = endMode
+
+	es := obs.EpochSample{
+		TS:           boundary,
+		Epoch:        index,
+		Utilization:  rec.Utilization,
+		Mode:         rec.StartMode.String(),
+		SwitchedMid:  rec.SwitchedMid,
+		ModeSwitches: s.modeSwitches,
+		MetaReads:    s.metaReads.Value(),
+		MetaWrites:   s.metaWrites.Value(),
+		QueueDepth:   int64(s.q.Len()),
+		BusBacklogPS: s.dram.BusBacklog(boundary),
+		Instructions: s.instr.Value(),
+		Measuring:    s.measuring,
+	}
+	if refs := s.memoRefsW.Value(); refs > 0 {
+		es.MemoHitRate = float64(s.memoHitsW.Value()) / float64(refs)
+	}
+	if s.eccTrials != nil {
+		es.ECCTrials = s.eccTrials.Bins()
+	}
+	if s.measuring {
+		if cycles := float64(boundary-s.cfg.WarmupTime) / 312.0; cycles > 0 {
+			es.IPC = float64(es.Instructions) / float64(s.cfg.Cores) / cycles
+		}
+	}
+	s.pub.PublishEpoch(es)
 }
 
 // sample is the periodic observability tick: queue-depth gauges and
@@ -540,6 +608,7 @@ func (s *simulator) Measuring() bool { return s.measuring }
 
 func (s *simulator) DRAMRead(addr uint64, t int64) int64 {
 	s.mon.Record(t)
+	s.metaReads.Inc()
 	return s.dram.Access(addr, t, false)
 }
 

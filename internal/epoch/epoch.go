@@ -61,6 +61,13 @@ type Monitor struct {
 
 	tracer *obs.Tracer // optional; nil drops every event
 
+	// onBoundary, when set, receives every closed epoch as it rolls
+	// over (the live-telemetry seam). Called unconditionally — unlike
+	// the History log it is not capped — and must not call back into
+	// the monitor.
+	onBoundary BoundaryFunc
+	closed     uint64 // epochs closed since run start (never reset)
+
 	// statistics (obs instruments so a registry can export them
 	// mid-run; the accessors below stay the legacy views)
 	epochs              obs.Counter
@@ -120,6 +127,17 @@ func (m *Monitor) WritebackMode(now int64) Mode {
 	return m.mode
 }
 
+// BoundaryFunc receives one closed epoch: its boundary time in
+// simulated picoseconds, its 1-based index from the start of the run,
+// and its Record.
+type BoundaryFunc func(boundary int64, index uint64, rec Record)
+
+// SetBoundaryHook installs (or clears, with nil) the closed-epoch
+// callback. Like the tracer, the hook is pure observation: it runs
+// after all mode decisions for the epoch are final and cannot change
+// them.
+func (m *Monitor) SetBoundaryHook(fn BoundaryFunc) { m.onBoundary = fn }
+
 // roll advances epoch boundaries up to now.
 func (m *Monitor) roll(now int64) {
 	for now-m.epochStart >= m.epochLen {
@@ -131,20 +149,25 @@ func (m *Monitor) roll(now int64) {
 			m.nextFromStart = CounterMode
 		}
 		m.epochs.Inc()
+		m.closed++
 		if m.nextFromStart == Counterless {
 			m.counterlessEpochs.Inc()
 		}
 		m.busyAccumulated += m.accesses
 		m.capacityAccumulated += m.maxAccesses
+		rec := Record{
+			Accesses:    m.accesses,
+			Utilization: float64(m.accesses) / float64(m.maxAccesses),
+			StartMode:   m.startMode,
+			SwitchedMid: m.startMode == CounterMode && m.mode == Counterless,
+		}
 		if len(m.history) < maxHistory {
-			m.history = append(m.history, Record{
-				Accesses:    m.accesses,
-				Utilization: float64(m.accesses) / float64(m.maxAccesses),
-				StartMode:   m.startMode,
-				SwitchedMid: m.startMode == CounterMode && m.mode == Counterless,
-			})
+			m.history = append(m.history, rec)
 		}
 		boundary := m.epochStart + m.epochLen
+		if m.onBoundary != nil {
+			m.onBoundary(boundary, m.closed, rec)
+		}
 		if m.tracer != nil {
 			m.tracer.Emit(boundary, obs.PhaseCounter, obs.CatEpoch, "epoch_utilization_pct",
 				obs.A("value", int64(100*m.accesses/m.maxAccesses)))

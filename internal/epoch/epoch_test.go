@@ -228,3 +228,53 @@ func TestResetStatsKeepsTimeline(t *testing.T) {
 		t.Errorf("epochs after reset+roll = %d, want 1", m.Epochs())
 	}
 }
+
+// TestBoundaryHook: the closed-epoch callback fires once per rollover
+// with the same record the History log keeps, even past ResetStats.
+func TestBoundaryHook(t *testing.T) {
+	m := newMon(t, 0.6)
+	type closed struct {
+		boundary int64
+		index    uint64
+		rec      Record
+	}
+	var got []closed
+	m.SetBoundaryHook(func(b int64, i uint64, r Record) {
+		got = append(got, closed{b, i, r})
+	})
+
+	// Epoch 1: busy (cross the threshold) -> mid-epoch fallback.
+	for i := uint64(0); i <= m.Threshold(); i++ {
+		m.Record(1)
+	}
+	// Epoch 2 opens counterless; one access closes epoch 1.
+	m.Record(epochL + 1)
+	if len(got) != 1 {
+		t.Fatalf("hook fired %d times after one rollover", len(got))
+	}
+	if got[0].boundary != epochL || got[0].index != 1 {
+		t.Errorf("boundary/index = %d/%d, want %d/1", got[0].boundary, got[0].index, epochL)
+	}
+	if !got[0].rec.SwitchedMid || got[0].rec.StartMode != CounterMode {
+		t.Errorf("record = %+v, want counter-mode start with mid switch", got[0].rec)
+	}
+	if got[0].rec != m.History()[0] {
+		t.Errorf("hook record %+v != history record %+v", got[0].rec, m.History()[0])
+	}
+
+	// Window resets must not disturb the hook's epoch indexing.
+	m.ResetStats()
+	m.Record(3 * epochL) // closes epochs 2 and 3
+	if len(got) != 3 {
+		t.Fatalf("hook fired %d times after three rollovers", len(got))
+	}
+	if got[2].index != 3 {
+		t.Errorf("index after ResetStats = %d, want 3", got[2].index)
+	}
+	// Clearing the hook stops delivery.
+	m.SetBoundaryHook(nil)
+	m.Record(5 * epochL)
+	if len(got) != 3 {
+		t.Error("hook fired after being cleared")
+	}
+}

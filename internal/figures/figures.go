@@ -112,6 +112,15 @@ type Runner struct {
 	// call it from worker goroutines, so it must be safe for
 	// concurrent use.
 	Log func(string)
+	// Observe, when set, is called with each simulation's workload and
+	// configuration just before core.Run; it may attach observability
+	// (cfg.Obs, cfg.Epochs, cfg.Progress — none of which perturb the
+	// result) and returns a completion callback, or nil. The
+	// monitoring server's run pool and clbench's snapshot writer hook
+	// in here. Cache hits skip Observe entirely: no simulation runs.
+	// Parallel sweeps call it from worker goroutines, so it must be
+	// safe for concurrent use.
+	Observe func(w trace.Workload, cfg *core.Config) func(core.Result, error)
 
 	mu    sync.Mutex // guards cache
 	cache map[runKey]core.Result
@@ -197,8 +206,15 @@ func (r *Runner) run(w trace.Workload, v variant) (core.Result, error) {
 		r.Log(fmt.Sprintf("run %s/%s bw=%.1f aes=%dns th=%d%% switch=%v",
 			w.Name, cfg.Scheme, cfg.BandwidthGBs, cfg.AESLat/1000, key.threshold, cfg.DynamicSwitch))
 	}
+	var done func(core.Result, error)
+	if r.Observe != nil {
+		done = r.Observe(w, &cfg)
+	}
 	start := time.Now()
 	res, err := core.Run(cfg, w)
+	if done != nil {
+		done(res, err)
+	}
 	if err != nil {
 		return core.Result{}, fmt.Errorf("figures: %s/%s: %w", w.Name, cfg.Scheme, err)
 	}

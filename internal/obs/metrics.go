@@ -256,6 +256,17 @@ func (r *Registry) Histogram(name string, edges []int64, labels ...Label) (*Hist
 	return h, nil
 }
 
+// FindHistogram returns the histogram registered under (name, labels)
+// if one exists, without creating it — a read-only probe for samplers
+// that only report distributions someone else is recording.
+func (r *Registry) FindHistogram(name string, labels ...Label) *Histogram {
+	ls := canonLabels(labels)
+	if s, ok := r.lookup(seriesKey(name, ls)); ok && s.kind == KindHistogram {
+		return s.h
+	}
+	return nil
+}
+
 // Series is one metric series in a Snapshot. For counters and gauges
 // Value holds the reading; for histograms Value is the sample total
 // and Edges/Counts/Sum carry the distribution.

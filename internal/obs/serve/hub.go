@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"sync"
+
+	"counterlight/internal/obs"
+)
+
+// sseEvent is one server-sent event: a name and a pre-encoded JSON
+// payload.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// subBuffer is each subscriber's channel depth. A slow client that
+// falls this far behind starts losing events (counted, never blocking
+// the publisher).
+const subBuffer = 256
+
+// hub fans epoch and run events out to SSE subscribers. Publishing
+// never blocks: the simulator side must stay timing-neutral, so a
+// full subscriber buffer drops the event for that subscriber and
+// advances the drop counter instead of waiting.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[chan sseEvent]struct{}
+	closed bool
+
+	clients obs.Gauge
+	dropped obs.Counter
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan sseEvent]struct{})}
+}
+
+// subscribe registers a new client. The returned cancel is idempotent
+// and must be called when the client goes away. After the hub closes,
+// the returned channel is already closed.
+func (h *hub) subscribe() (<-chan sseEvent, func()) {
+	ch := make(chan sseEvent, subBuffer)
+	h.mu.Lock()
+	if h.closed {
+		close(ch)
+		h.mu.Unlock()
+		return ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	h.clients.Set(int64(len(h.subs)))
+	h.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			if _, ok := h.subs[ch]; ok {
+				delete(h.subs, ch)
+				close(ch)
+			}
+			h.clients.Set(int64(len(h.subs)))
+			h.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// publish delivers the event to every subscriber without blocking.
+func (h *hub) publish(name string, data []byte) {
+	e := sseEvent{name: name, data: data}
+	h.mu.Lock()
+	for ch := range h.subs {
+		select {
+		case ch <- e:
+		default:
+			h.dropped.Inc()
+		}
+	}
+	h.mu.Unlock()
+}
+
+// close drains the hub: every subscriber's channel is closed (their
+// handlers return, letting http.Server.Shutdown complete) and future
+// subscribes get a closed channel.
+func (h *hub) close() {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		for ch := range h.subs {
+			close(ch)
+		}
+		h.subs = make(map[chan sseEvent]struct{})
+		h.clients.Set(0)
+	}
+	h.mu.Unlock()
+}
+
+// registerMetrics exposes the hub's client gauge and drop counter.
+func (h *hub) registerMetrics(reg *obs.Registry) {
+	reg.RegisterGauge("serve_sse_clients", &h.clients)
+	reg.RegisterCounter("serve_sse_dropped_events_total", &h.dropped)
+}

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"encoding/json"
+	"strconv"
+	"sync"
+
+	"counterlight/internal/core"
+	"counterlight/internal/obs"
+	"counterlight/internal/obs/timeseries"
+	"counterlight/internal/trace"
+)
+
+// Run is one tracked simulation: its identity, its per-epoch
+// recorder, its metrics registry, and a small set of live fields the
+// epoch stream keeps fresh for /api/runs.
+type Run struct {
+	ID       int
+	Scheme   string
+	Workload string
+	TotalPS  int64 // warmup + measurement window
+
+	Recorder *timeseries.Recorder
+	Registry *obs.Registry
+
+	mu           sync.Mutex
+	state        string // "running", "done", "failed"
+	simPS        int64
+	epochs       uint64
+	mode         string
+	modeSwitches uint64
+	utilization  float64
+	instructions uint64
+	ipc          float64
+	errText      string
+}
+
+// RunStatus is the JSON shape of one run on /api/runs.
+type RunStatus struct {
+	ID              int     `json:"id"`
+	Scheme          string  `json:"scheme"`
+	Workload        string  `json:"workload"`
+	State           string  `json:"state"`
+	PercentComplete float64 `json:"percent_complete"`
+	SimPS           int64   `json:"sim_ps"`
+	TotalPS         int64   `json:"total_ps"`
+	Epochs          uint64  `json:"epochs"`
+	Mode            string  `json:"mode"`
+	ModeSwitches    uint64  `json:"mode_switches"`
+	Utilization     float64 `json:"utilization"`
+	Instructions    uint64  `json:"instructions"`
+	IPC             float64 `json:"ipc"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// Status snapshots the run's live state.
+func (r *Run) Status() RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RunStatus{
+		ID:       r.ID,
+		Scheme:   r.Scheme,
+		Workload: r.Workload,
+		State:    r.state,
+		SimPS:    r.simPS,
+		TotalPS:  r.TotalPS,
+		Epochs:   r.epochs,
+		Mode:     r.mode,
+
+		ModeSwitches: r.modeSwitches,
+		Utilization:  r.utilization,
+		Instructions: r.instructions,
+		IPC:          r.ipc,
+		Error:        r.errText,
+	}
+	if r.state != "running" {
+		st.PercentComplete = 100
+	} else if r.TotalPS > 0 {
+		st.PercentComplete = 100 * float64(r.simPS) / float64(r.TotalPS)
+		if st.PercentComplete > 100 {
+			st.PercentComplete = 100
+		}
+	}
+	return st
+}
+
+// observe updates the live fields from one epoch sample.
+func (r *Run) observe(s obs.EpochSample) {
+	r.mu.Lock()
+	r.simPS = s.TS
+	r.epochs = s.Epoch
+	r.mode = s.Mode
+	if s.SwitchedMid {
+		r.mode = "counterless"
+	}
+	r.modeSwitches = s.ModeSwitches
+	r.utilization = s.Utilization
+	r.instructions = s.Instructions
+	r.ipc = s.IPC
+	r.mu.Unlock()
+}
+
+// finish marks the run complete (or failed).
+func (r *Run) finish(err error) {
+	r.mu.Lock()
+	if err != nil {
+		r.state = "failed"
+		r.errText = err.Error()
+	} else {
+		r.state = "done"
+		r.simPS = r.TotalPS
+	}
+	r.mu.Unlock()
+}
+
+// streamSample is the SSE payload for one epoch event: the run it
+// belongs to plus the sample itself.
+type streamSample struct {
+	Run    int             `json:"run"`
+	Sample obs.EpochSample `json:"sample"`
+}
+
+// Pool tracks every in-flight and completed run the server knows
+// about. It is the publication side of the monitoring service: the
+// CLIs register runs here (directly via Attach, or through Observe
+// wired into a figures.Runner), and the HTTP handlers read it.
+type Pool struct {
+	hub *hub
+
+	mu     sync.Mutex
+	nextID int
+	runs   []*Run
+
+	started   obs.Counter
+	completed obs.Counter
+	failed    obs.Counter
+}
+
+func newPool(h *hub) *Pool { return &Pool{hub: h} }
+
+// registerMetrics exposes the pool's run counters.
+func (p *Pool) registerMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("serve_runs_started_total", &p.started)
+	reg.RegisterCounter("serve_runs_completed_total", &p.completed)
+	reg.RegisterCounter("serve_runs_failed_total", &p.failed)
+}
+
+// Attach registers a run about to start and wires its telemetry into
+// the pool: the config gains an observer registry (if it has none), a
+// per-epoch recorder, and a publisher that keeps the run's live
+// status fresh and streams samples to SSE clients. The caller must
+// invoke the returned completion callback when core.Run returns.
+//
+// Attach composes with whatever observability the caller already
+// configured — an existing cfg.Epochs publisher keeps receiving every
+// sample.
+func (p *Pool) Attach(workload string, cfg *core.Config) (*Run, func(error)) {
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewObserver(0)
+	}
+	run := &Run{
+		Scheme:   cfg.Scheme.String(),
+		Workload: workload,
+		TotalPS:  cfg.WarmupTime + cfg.WindowTime,
+		Recorder: timeseries.NewRecorder(0),
+		Registry: cfg.Obs.Metrics,
+		state:    "running",
+	}
+
+	p.mu.Lock()
+	p.nextID++
+	run.ID = p.nextID
+	p.runs = append(p.runs, run)
+	p.mu.Unlock()
+	p.started.Inc()
+
+	run.Recorder.RegisterMetrics(run.Registry, obs.L("scheme", run.Scheme))
+	cfg.Epochs = obs.Tee(cfg.Epochs, run.Recorder, obs.PublisherFunc(func(s obs.EpochSample) {
+		run.observe(s)
+		if data, err := json.Marshal(streamSample{Run: run.ID, Sample: s}); err == nil {
+			p.hub.publish("epoch", data)
+		}
+	}))
+
+	done := func(err error) {
+		run.finish(err)
+		if err != nil {
+			p.failed.Inc()
+		} else {
+			p.completed.Inc()
+		}
+		if data, jerr := json.Marshal(run.Status()); jerr == nil {
+			p.hub.publish("run", data)
+		}
+	}
+	return run, done
+}
+
+// Observe is a figures.Runner-compatible hook (assign it to
+// Runner.Observe): every simulation a sweep actually executes shows
+// up as a tracked run.
+func (p *Pool) Observe(w trace.Workload, cfg *core.Config) func(core.Result, error) {
+	_, done := p.Attach(w.Name, cfg)
+	return func(_ core.Result, err error) { done(err) }
+}
+
+// Runs lists every tracked run in start order.
+func (p *Pool) Runs() []*Run {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Run(nil), p.runs...)
+}
+
+// Get returns the run with the given id.
+func (p *Pool) Get(id int) (*Run, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.runs {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// metricsSnapshot merges every run's registry into one exposition,
+// adding a run="<id>" label so identical schemes in different runs
+// stay distinct series.
+func (p *Pool) metricsSnapshot() obs.Snapshot {
+	var out obs.Snapshot
+	seen := make(map[*obs.Registry]bool)
+	for _, run := range p.Runs() {
+		if seen[run.Registry] {
+			continue // clsim -baseline shares one registry across runs
+		}
+		seen[run.Registry] = true
+		snap := run.Registry.Snapshot()
+		for _, s := range snap.Series {
+			if s.Labels == nil {
+				s.Labels = make(map[string]string, 1)
+			}
+			s.Labels["run"] = strconv.Itoa(run.ID)
+			out.Series = append(out.Series, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,415 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"counterlight/internal/core"
+	"counterlight/internal/obs"
+	"counterlight/internal/trace"
+)
+
+const us = int64(1_000_000) // picoseconds
+
+// testCfg mirrors core's fastCfg: a shrunken hierarchy and short
+// windows so runs finish quickly while still reaching steady state.
+func testCfg(scheme core.Scheme) core.Config {
+	cfg := core.DefaultConfig(scheme)
+	cfg.L1Size = 16 << 10
+	cfg.L2Size = 128 << 10
+	cfg.L3Size = 1 << 20
+	cfg.WarmupTime = 400 * us
+	cfg.WindowTime = 600 * us
+	return cfg
+}
+
+// fakeSample builds a deterministic epoch sample for handler tests.
+func fakeSample(i int) obs.EpochSample {
+	s := obs.EpochSample{
+		TS:           int64(i) * 100 * us,
+		Epoch:        uint64(i),
+		Utilization:  0.5 + 0.01*float64(i),
+		Mode:         "counter",
+		ModeSwitches: uint64(i / 3),
+		MetaReads:    uint64(10 * i),
+		MetaWrites:   uint64(4 * i),
+		QueueDepth:   int64(i),
+		Instructions: uint64(1000 * i),
+		IPC:          1.5,
+		Measuring:    true,
+	}
+	if i%3 == 0 {
+		s.SwitchedMid = true
+	}
+	return s
+}
+
+// attachFake registers a run on the pool and feeds it n synthetic
+// samples through the publisher seam, as a real simulation would.
+func attachFake(t *testing.T, srv *Server, n int, finish error) *core.Config {
+	t.Helper()
+	cfg := testCfg(core.CounterLight)
+	_, done := srv.Pool().Attach("mcf", &cfg)
+	for i := 1; i <= n; i++ {
+		cfg.Epochs.PublishEpoch(fakeSample(i))
+	}
+	done(finish)
+	return &cfg
+}
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	return rr, rr.Body.String()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := New()
+	attachFake(t, srv, 5, nil)
+
+	rr, body := get(t, srv.Handler(), "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE serve_runs_started_total counter",
+		"serve_runs_started_total 1",
+		"serve_runs_completed_total 1",
+		"serve_runs_failed_total 0",
+		"serve_sse_clients 0",
+		// the run's registry shows up labelled run="1"
+		`timeseries_evictions_total{run="1",scheme="counterlight"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestRunsAPI(t *testing.T) {
+	srv := New()
+	attachFake(t, srv, 5, nil)
+	attachFake(t, srv, 2, fmt.Errorf("boom"))
+
+	rr, body := get(t, srv.Handler(), "/api/runs")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/api/runs status %d", rr.Code)
+	}
+	var runs []RunStatus
+	if err := json.Unmarshal([]byte(body), &runs); err != nil {
+		t.Fatalf("/api/runs not JSON: %v", err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(runs))
+	}
+	if runs[0].ID != 1 || runs[0].Scheme != "counterlight" || runs[0].Workload != "mcf" ||
+		runs[0].State != "done" || runs[0].PercentComplete != 100 {
+		t.Errorf("run 1 status wrong: %+v", runs[0])
+	}
+	if runs[1].State != "failed" || runs[1].Error != "boom" {
+		t.Errorf("run 2 should be failed: %+v", runs[1])
+	}
+	if runs[0].Epochs != 5 || runs[0].ModeSwitches != 1 {
+		t.Errorf("run 1 live fields not updated: %+v", runs[0])
+	}
+
+	rr, body = get(t, srv.Handler(), "/api/runs/2")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/api/runs/2 status %d", rr.Code)
+	}
+	var one RunStatus
+	if err := json.Unmarshal([]byte(body), &one); err != nil || one.ID != 2 {
+		t.Errorf("/api/runs/2 = %+v (err %v)", one, err)
+	}
+
+	if rr, _ := get(t, srv.Handler(), "/api/runs/99"); rr.Code != http.StatusNotFound {
+		t.Errorf("/api/runs/99 status %d, want 404", rr.Code)
+	}
+	if rr, _ := get(t, srv.Handler(), "/api/runs/zzz"); rr.Code != http.StatusBadRequest {
+		t.Errorf("/api/runs/zzz status %d, want 400", rr.Code)
+	}
+}
+
+func TestSeriesEndpoint(t *testing.T) {
+	srv := New()
+	attachFake(t, srv, 6, nil)
+
+	rr, body := get(t, srv.Handler(), "/api/runs/1/series")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("series status %d", rr.Code)
+	}
+	var samples []obs.EpochSample
+	if err := json.Unmarshal([]byte(body), &samples); err != nil {
+		t.Fatalf("series not JSON: %v", err)
+	}
+	if len(samples) != 6 {
+		t.Fatalf("got %d samples, want 6", len(samples))
+	}
+	if !reflect.DeepEqual(samples[2], fakeSample(3)) {
+		t.Errorf("sample 3 = %+v, want %+v", samples[2], fakeSample(3))
+	}
+
+	rr, body = get(t, srv.Handler(), "/api/runs/1/series?max=2")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("downsampled series status %d", rr.Code)
+	}
+	samples = nil
+	if err := json.Unmarshal([]byte(body), &samples); err != nil || len(samples) != 2 {
+		t.Errorf("max=2 gave %d samples (err %v)", len(samples), err)
+	}
+
+	rr, body = get(t, srv.Handler(), "/api/runs/1/series?format=csv")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("csv series status %d", rr.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	wantHeader := "ts_ps,epoch,utilization,mode,switched_mid,mode_switches,memo_hit_rate," +
+		"meta_reads,meta_writes,queue_depth,bus_backlog_ps,instructions,ipc,measuring"
+	if lines[0] != wantHeader {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) != 7 {
+		t.Errorf("csv has %d lines, want header + 6 rows", len(lines))
+	}
+
+	if rr, _ := get(t, srv.Handler(), "/api/runs/1/series?format=xml"); rr.Code != http.StatusBadRequest {
+		t.Errorf("format=xml status %d, want 400", rr.Code)
+	}
+	if rr, _ := get(t, srv.Handler(), "/api/runs/1/series?max=nope"); rr.Code != http.StatusBadRequest {
+		t.Errorf("max=nope status %d, want 400", rr.Code)
+	}
+}
+
+func TestIndexAndPprof(t *testing.T) {
+	srv := New()
+	rr, body := get(t, srv.Handler(), "/")
+	if rr.Code != http.StatusOK || !strings.Contains(body, "live telemetry") {
+		t.Errorf("index status %d", rr.Code)
+	}
+	if rr, _ := get(t, srv.Handler(), "/debug/pprof/cmdline"); rr.Code != http.StatusOK {
+		t.Errorf("pprof cmdline status %d", rr.Code)
+	}
+}
+
+// sseEventMsg is one parsed server-sent event.
+type sseEventMsg struct {
+	name string
+	data string
+}
+
+// readSSE consumes events from an SSE body until want have arrived or
+// the stream ends.
+func readSSE(r *bufio.Reader, want int) ([]sseEventMsg, error) {
+	var out []sseEventMsg
+	var cur sseEventMsg
+	for len(out) < want {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return out, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "" && cur.data != "":
+			out = append(out, cur)
+			cur = sseEventMsg{}
+		}
+	}
+	return out, nil
+}
+
+// TestStreamDeliversEpochEvents runs a real starved-channel simulation
+// against a live server and requires the SSE stream to deliver
+// per-epoch samples, including at least one mode-switch event.
+func TestStreamDeliversEpochEvents(t *testing.T) {
+	srv := New()
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	resp, err := http.Get("http://" + addr + "/api/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+
+	cfg := testCfg(core.CounterLight)
+	cfg.BandwidthGBs = 6.4 // starve the channel so modes switch
+	_, done := srv.Pool().Attach("mcf", &cfg)
+	w, ok := trace.ByName("mcf")
+	if !ok {
+		t.Fatal("mcf workload missing")
+	}
+	runErr := make(chan error, 1)
+	go func() {
+		_, err := core.Run(cfg, w)
+		done(err)
+		runErr <- err
+	}()
+
+	events, err := readSSE(bufio.NewReader(resp.Body), 2)
+	if len(events) < 2 {
+		t.Fatalf("got %d SSE events (err %v), want >= 2", len(events), err)
+	}
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+
+	sawSwitch := false
+	for _, e := range events {
+		if e.name != "epoch" {
+			continue
+		}
+		var msg struct {
+			Run    int             `json:"run"`
+			Sample obs.EpochSample `json:"sample"`
+		}
+		if jerr := json.Unmarshal([]byte(e.data), &msg); jerr != nil {
+			t.Fatalf("epoch event not JSON: %v (%q)", jerr, e.data)
+		}
+		if msg.Run != 1 {
+			t.Errorf("epoch event for run %d, want 1", msg.Run)
+		}
+		if msg.Sample.SwitchedMid || msg.Sample.ModeSwitches > 0 {
+			sawSwitch = true
+		}
+	}
+	// The first two epochs of a starved counterlight run switch to
+	// counterless almost immediately; require the stream to show it.
+	if !sawSwitch {
+		// Drain more of the stream before declaring failure: switch
+		// timing depends on warmup behavior.
+		more, _ := readSSE(bufio.NewReader(resp.Body), 20)
+		for _, e := range more {
+			if strings.Contains(e.data, `"switched_mid":true`) ||
+				strings.Contains(e.data, `"mode":"counterless"`) {
+				sawSwitch = true
+				break
+			}
+		}
+	}
+	if !sawSwitch {
+		t.Error("no mode-switch event observed on the SSE stream")
+	}
+}
+
+// TestServeDoesNotPerturbResult is the live-telemetry determinism
+// guarantee end to end: a run attached to a live monitoring server
+// with a streaming client must produce a Result bit-identical to a
+// bare run.
+func TestServeDoesNotPerturbResult(t *testing.T) {
+	cfg := testCfg(core.CounterLight)
+	cfg.BandwidthGBs = 6.4
+	w, ok := trace.ByName("mcf")
+	if !ok {
+		t.Fatal("mcf workload missing")
+	}
+	bare, err := core.Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New()
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A live SSE consumer, reading for the whole run.
+	resp, err := http.Get("http://" + addr + "/api/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		br := bufio.NewReader(resp.Body)
+		for {
+			if _, err := br.ReadString('\n'); err != nil {
+				return
+			}
+		}
+	}()
+
+	served := testCfg(core.CounterLight)
+	served.BandwidthGBs = 6.4
+	run, done := srv.Pool().Attach("mcf", &served)
+	observed, err := core.Run(served, w)
+	done(err)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if bare.Instructions != observed.Instructions || bare.LLCMisses != observed.LLCMisses ||
+		bare.DRAM != observed.DRAM || bare.AvgMissLatNS != observed.AvgMissLatNS ||
+		bare.WBCounterless != observed.WBCounterless || bare.WBTotal != observed.WBTotal {
+		t.Errorf("serving changed the run:\nbare:   %v\nserved: %v", bare, observed)
+	}
+	if len(bare.EpochHistory) != len(observed.EpochHistory) {
+		t.Errorf("epoch history diverged: %d vs %d records",
+			len(bare.EpochHistory), len(observed.EpochHistory))
+	}
+	if run.Recorder.Len() != len(observed.EpochHistory) {
+		t.Errorf("recorder has %d samples, history %d", run.Recorder.Len(), len(observed.EpochHistory))
+	}
+
+	// Graceful shutdown must release the streaming client.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case <-consumerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE consumer still blocked after Shutdown")
+	}
+	resp.Body.Close()
+}
+
+// TestHubDropsWhenSubscriberStalls: a stalled subscriber loses events
+// (counted) without ever blocking the publisher.
+func TestHubDropsWhenSubscriberStalls(t *testing.T) {
+	h := newHub()
+	ch, cancel := h.subscribe()
+	defer cancel()
+	for i := 0; i < subBuffer+10; i++ {
+		h.publish("epoch", []byte("{}"))
+	}
+	if got := h.dropped.Value(); got != 10 {
+		t.Errorf("dropped = %d, want 10", got)
+	}
+	if len(ch) != subBuffer {
+		t.Errorf("buffered = %d, want %d", len(ch), subBuffer)
+	}
+}
+
+func TestHubSubscribeAfterClose(t *testing.T) {
+	h := newHub()
+	h.close()
+	ch, cancel := h.subscribe()
+	defer cancel()
+	if _, open := <-ch; open {
+		t.Error("subscribe after close returned an open channel")
+	}
+}

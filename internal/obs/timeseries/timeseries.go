@@ -1,0 +1,205 @@
+// Package timeseries buffers the per-epoch telemetry stream
+// (obs.EpochSample) in a bounded ring so long-running simulations can
+// be inspected while they execute and exported afterwards. The
+// recorder is the storage half of the live-telemetry subsystem; the
+// HTTP half lives in internal/obs/serve.
+//
+// Like every obs component, recording is pure observation: attaching
+// a Recorder to a run leaves its Result bit-identical.
+package timeseries
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"counterlight/internal/obs"
+)
+
+// DefaultCap is the ring capacity used when NewRecorder is given a
+// non-positive one: 16k epochs = 1.6 s of simulated time at the
+// 100 µs epoch length, far beyond any figure's window.
+const DefaultCap = 1 << 14
+
+// Recorder is a bounded ring buffer of per-epoch samples. When full,
+// the oldest sample is evicted for each new one and the eviction
+// counter advances. All methods are safe for concurrent use: the
+// simulator appends from its event loop while HTTP handlers read.
+type Recorder struct {
+	mu      sync.Mutex
+	buf     []obs.EpochSample
+	start   int // index of oldest sample
+	n       int
+	evicted obs.Counter
+}
+
+// NewRecorder builds a recorder holding up to capacity samples
+// (DefaultCap when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Recorder{buf: make([]obs.EpochSample, capacity)}
+}
+
+// PublishEpoch appends one sample, evicting the oldest when full.
+// Recorder implements obs.Publisher.
+func (r *Recorder) PublishEpoch(s obs.EpochSample) {
+	r.mu.Lock()
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = s
+		r.n++
+	} else {
+		r.buf[r.start] = s
+		r.start = (r.start + 1) % len(r.buf)
+		r.evicted.Inc()
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of buffered samples.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Evicted returns how many samples were evicted to make room.
+func (r *Recorder) Evicted() uint64 { return r.evicted.Value() }
+
+// Samples returns the buffered samples oldest-first.
+func (r *Recorder) Samples() []obs.EpochSample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]obs.EpochSample, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Last returns the most recent sample (ok is false when empty).
+func (r *Recorder) Last() (obs.EpochSample, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return obs.EpochSample{}, false
+	}
+	return r.buf[(r.start+r.n-1)%len(r.buf)], true
+}
+
+// RegisterMetrics exposes the recorder's eviction count through a
+// registry (timeseries_evictions_total), so silent truncation of the
+// telemetry buffer is itself observable.
+func (r *Recorder) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.RegisterCounter("timeseries_evictions_total", &r.evicted, labels...)
+}
+
+// Downsample reduces samples to at most max points by windowed
+// aggregation, for rendering long runs without shipping every epoch.
+// Each window reports its last sample's cumulative fields and
+// timestamp, the window-mean utilization and IPC, the window-max
+// queue depth and bus backlog, and SwitchedMid when any epoch in the
+// window fell back mid-epoch. max <= 0 or max >= len returns the
+// input unchanged.
+func Downsample(samples []obs.EpochSample, max int) []obs.EpochSample {
+	if max <= 0 || len(samples) <= max {
+		return samples
+	}
+	out := make([]obs.EpochSample, 0, max)
+	// Ceil division keeps len(out) <= max.
+	win := (len(samples) + max - 1) / max
+	for i := 0; i < len(samples); i += win {
+		end := i + win
+		if end > len(samples) {
+			end = len(samples)
+		}
+		w := samples[i:end]
+		agg := w[len(w)-1] // cumulative fields come from the last epoch
+		var util, ipc float64
+		for _, s := range w {
+			util += s.Utilization
+			ipc += s.IPC
+			if s.SwitchedMid {
+				agg.SwitchedMid = true
+			}
+			if s.QueueDepth > agg.QueueDepth {
+				agg.QueueDepth = s.QueueDepth
+			}
+			if s.BusBacklogPS > agg.BusBacklogPS {
+				agg.BusBacklogPS = s.BusBacklogPS
+			}
+		}
+		agg.Utilization = util / float64(len(w))
+		agg.IPC = ipc / float64(len(w))
+		out = append(out, agg)
+	}
+	return out
+}
+
+// csvHeader is the stable column order of the CSV export.
+var csvHeader = []string{
+	"ts_ps", "epoch", "utilization", "mode", "switched_mid",
+	"mode_switches", "memo_hit_rate", "meta_reads", "meta_writes",
+	"queue_depth", "bus_backlog_ps", "instructions", "ipc", "measuring",
+}
+
+// WriteCSV renders samples as CSV with a header row, one row per
+// epoch, for piping into plotting tools.
+func WriteCSV(w io.Writer, samples []obs.EpochSample) error {
+	var b []byte
+	for i, h := range csvHeader {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, h...)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		row := fmt.Sprintf("%d,%d,%.6f,%s,%t,%d,%.6f,%d,%d,%d,%d,%d,%.6f,%t\n",
+			s.TS, s.Epoch, s.Utilization, s.Mode, s.SwitchedMid,
+			s.ModeSwitches, s.MemoHitRate, s.MetaReads, s.MetaWrites,
+			s.QueueDepth, s.BusBacklogPS, s.Instructions, s.IPC, s.Measuring)
+		if _, err := io.WriteString(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders samples as an indented JSON array.
+func WriteJSON(w io.Writer, samples []obs.EpochSample) error {
+	if samples == nil {
+		samples = []obs.EpochSample{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(samples)
+}
+
+// WriteTo writes samples to w in the named format ("csv" or "json").
+func WriteTo(w io.Writer, samples []obs.EpochSample, format string) error {
+	switch format {
+	case "csv":
+		return WriteCSV(w, samples)
+	case "json", "":
+		return WriteJSON(w, samples)
+	}
+	return fmt.Errorf("timeseries: unknown format %q", format)
+}
+
+// FormatForPath picks the export format from a file extension
+// (".csv" -> csv, anything else -> json).
+func FormatForPath(path string) string {
+	if strings.HasSuffix(path, ".csv") {
+		return "csv"
+	}
+	return "json"
+}
+
+var _ obs.Publisher = (*Recorder)(nil)

@@ -1,0 +1,157 @@
+package timeseries
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"counterlight/internal/obs"
+)
+
+func sampleN(i int) obs.EpochSample {
+	return obs.EpochSample{
+		TS:           int64(i) * 100_000_000, // 100 µs epochs
+		Epoch:        uint64(i),
+		Utilization:  float64(i%10) / 10,
+		Mode:         "counter",
+		Instructions: uint64(i) * 1000,
+		QueueDepth:   int64(i % 7),
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 6; i++ {
+		r.PublishEpoch(sampleN(i))
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := r.Evicted(); got != 2 {
+		t.Errorf("Evicted = %d, want 2", got)
+	}
+	ss := r.Samples()
+	for i, want := range []uint64{3, 4, 5, 6} {
+		if ss[i].Epoch != want {
+			t.Errorf("sample %d epoch = %d, want %d", i, ss[i].Epoch, want)
+		}
+	}
+	last, ok := r.Last()
+	if !ok || last.Epoch != 6 {
+		t.Errorf("Last = %+v ok=%v, want epoch 6", last, ok)
+	}
+
+	reg := obs.NewRegistry()
+	r.RegisterMetrics(reg)
+	if got := reg.Snapshot().Value("timeseries_evictions_total"); got != 2 {
+		t.Errorf("timeseries_evictions_total = %v, want 2", got)
+	}
+}
+
+func TestRecorderConcurrentAccess(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.PublishEpoch(sampleN(i))
+				_ = r.Samples()
+				_, _ = r.Last()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Errorf("Len = %d, want full ring of 64", r.Len())
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	var in []obs.EpochSample
+	for i := 1; i <= 10; i++ {
+		s := sampleN(i)
+		s.Utilization = float64(i)
+		s.SwitchedMid = i == 4
+		in = append(in, s)
+	}
+	out := Downsample(in, 5)
+	if len(out) != 5 {
+		t.Fatalf("len = %d, want 5", len(out))
+	}
+	// Window [3,4]: mean utilization 3.5, SwitchedMid from epoch 4,
+	// cumulative fields from the last epoch in the window.
+	if out[1].Utilization != 3.5 {
+		t.Errorf("window util = %v, want 3.5", out[1].Utilization)
+	}
+	if !out[1].SwitchedMid {
+		t.Error("window lost the SwitchedMid epoch")
+	}
+	if out[1].Epoch != 4 {
+		t.Errorf("window epoch = %d, want 4", out[1].Epoch)
+	}
+	// No-op cases return the input unchanged.
+	if got := Downsample(in, 0); len(got) != len(in) {
+		t.Errorf("max=0 downsampled to %d", len(got))
+	}
+	if got := Downsample(in, 100); len(got) != len(in) {
+		t.Errorf("max>len downsampled to %d", len(got))
+	}
+}
+
+func TestCSVExportGolden(t *testing.T) {
+	s := obs.EpochSample{
+		TS: 100_000_000, Epoch: 1, Utilization: 0.75, Mode: "counterless",
+		SwitchedMid: true, ModeSwitches: 2, MemoHitRate: 0.5,
+		MetaReads: 10, MetaWrites: 3, QueueDepth: 5, BusBacklogPS: 1200,
+		Instructions: 42, IPC: 1.25, Measuring: true,
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []obs.EpochSample{s}); err != nil {
+		t.Fatal(err)
+	}
+	want := "ts_ps,epoch,utilization,mode,switched_mid,mode_switches,memo_hit_rate,meta_reads,meta_writes,queue_depth,bus_backlog_ps,instructions,ipc,measuring\n" +
+		"100000000,1,0.750000,counterless,true,2,0.500000,10,3,5,1200,42,1.250000,true\n"
+	if buf.String() != want {
+		t.Errorf("CSV mismatch:\ngot:  %q\nwant: %q", buf.String(), want)
+	}
+}
+
+func TestJSONExportRoundTrip(t *testing.T) {
+	in := []obs.EpochSample{sampleN(1), sampleN(2)}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []obs.EpochSample
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1].Epoch != 2 || out[1].TS != in[1].TS {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+	// Empty set must encode as [], not null.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty export = %q, want []", got)
+	}
+}
+
+func TestWriteToFormats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, nil, "bogus"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := WriteTo(&buf, nil, "csv"); err != nil {
+		t.Error(err)
+	}
+	if FormatForPath("epochs.csv") != "csv" || FormatForPath("epochs.json") != "json" {
+		t.Error("FormatForPath mismatch")
+	}
+}

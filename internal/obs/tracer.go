@@ -56,7 +56,7 @@ type Tracer struct {
 	buf     []Event
 	start   int // index of oldest event
 	n       int
-	dropped uint64
+	dropped Counter // registry-exportable so silent eviction is observable
 }
 
 // NewTracer builds a tracer holding up to capacity events
@@ -84,7 +84,7 @@ func (t *Tracer) Emit(ts int64, ph byte, cat, name string, args ...Arg) {
 	} else {
 		t.buf[t.start] = e
 		t.start = (t.start + 1) % len(t.buf)
-		t.dropped++
+		t.dropped.Inc()
 	}
 	t.mu.Unlock()
 }
@@ -104,9 +104,17 @@ func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.dropped
+	return t.dropped.Value()
+}
+
+// RegisterMetrics exposes the ring's eviction count through a
+// registry (trace_dropped_events_total), so truncation of the
+// telemetry stream is itself observable on /metrics.
+func (t *Tracer) RegisterMetrics(reg *Registry, labels ...Label) {
+	if t == nil {
+		return
+	}
+	reg.RegisterCounter("trace_dropped_events_total", &t.dropped, labels...)
 }
 
 // Events returns the buffered events oldest-first.
