@@ -1,8 +1,9 @@
 # Developer entry points. `make check` is the pre-commit gate.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build test race vet fmt check clean
+.PHONY: build test race vet fmt check checkers fuzz clean
 
 build:
 	$(GO) build ./...
@@ -25,6 +26,21 @@ fmt:
 	fi
 
 check: fmt vet build race
+
+# Differential verification: the oracle campaign (zero divergences
+# expected) and the known-bad self-test (a verified minimized
+# divergence expected — proves the harness has teeth).
+checkers:
+	$(GO) run ./cmd/clcheck -seeds 64 -j 8
+	$(GO) run ./cmd/clcheck -campaign internal/check/testdata/knownbad.json
+
+# Native fuzzing, one target at a time (go test allows a single -fuzz
+# per invocation). FUZZTIME=5m for a longer local hunt.
+fuzz:
+	$(GO) test ./internal/check -run '^$$' -fuzz FuzzEngineOps -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzMetadataDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzEccRecovery -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/entropy -run '^$$' -fuzz FuzzEntropyClassifier -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

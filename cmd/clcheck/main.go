@@ -1,0 +1,182 @@
+// Command clcheck drives the differential verification harness: seeded
+// random programs (reads, writes, mode flips, injected faults) are run
+// on every engine variant and checked op-by-op against the reference
+// oracle, with cross-variant differential comparison on top. Diverging
+// seeds are minimized to replayable repro tokens.
+//
+// Usage:
+//
+//	clcheck -seeds 64 -j 8
+//	clcheck -campaign faults.json -tokens repros.txt
+//	clcheck -repro Y2xrMQZhZXMxMjgB...
+//	clcheck -seeds 4 -schemes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"counterlight/internal/check"
+	"counterlight/internal/figures"
+	"counterlight/internal/obs"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 16, "number of generated programs (seed-start, seed-start+1, ...)")
+	seedStart := flag.Int64("seed-start", 1, "first program seed")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent program checks")
+	ops := flag.Int("ops", 0, "ops per generated program (0 = generator default)")
+	blocks := flag.Uint("blocks", 0, "address-space blocks per program (0 = generator default)")
+	faultRate := flag.Float64("fault-rate", 0, "per-op fault injection probability (0 = generator default)")
+	campaignFile := flag.String("campaign", "", "load a campaign spec from this JSON file (overrides the generator flags)")
+	repro := flag.String("repro", "", "replay one repro token instead of running a campaign")
+	schemes := flag.Bool("schemes", false, "also sweep every registered timing scheme's Result invariants over the seeds")
+	metricsFile := flag.String("metrics", "", "write a Prometheus-text snapshot of the campaign counters to this file")
+	tokensFile := flag.String("tokens", "", "write minimized repro tokens (one per line) to this file on divergence")
+	flag.Parse()
+
+	if *repro != "" {
+		os.Exit(replayToken(*repro))
+	}
+
+	spec := check.DefaultCampaign(*seeds, *seedStart)
+	if *campaignFile != "" {
+		var err error
+		spec, err = check.LoadCampaign(*campaignFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clcheck: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		if *ops > 0 {
+			spec.Ops = *ops
+		}
+		if *blocks > 0 {
+			spec.Blocks = uint32(*blocks)
+		}
+		if *faultRate > 0 {
+			spec.FaultRate = *faultRate
+		}
+	}
+
+	pool := figures.NewRunner(true)
+	pool.Workers = *jobs
+	reg := obs.NewRegistry()
+
+	report, err := check.RunCampaign(spec, pool, reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clcheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("campaign %q: %d programs, %d ops, %d injected faults, %d engine DUEs\n",
+		spec.Name, report.Programs, report.Ops, report.Faults, report.EngineDUEs)
+	var tokens []string
+	for _, f := range report.Failures {
+		fmt.Printf("seed %d: DIVERGED at op %d [%s]: %s\n", f.Seed, f.Div.OpIndex, f.Div.Kind, f.Div.Detail)
+		if f.Token != "" {
+			state := "UNVERIFIED"
+			if f.Verified {
+				state = "verified"
+			}
+			fmt.Printf("  minimized repro (%s): clcheck -repro %s\n", state, f.Token)
+			tokens = append(tokens, f.Token)
+		}
+	}
+	if *tokensFile != "" && len(tokens) > 0 {
+		if err := os.WriteFile(*tokensFile, []byte(strings.Join(tokens, "\n")+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "clcheck: tokens: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsFile != "" {
+		writeMetrics(*metricsFile, reg)
+	}
+
+	exit := 0
+	if !report.OK() {
+		if spec.ExpectDivergence {
+			fmt.Println("FAIL: campaign expected a verified minimized divergence and produced none — the harness has no teeth")
+		} else {
+			fmt.Printf("FAIL: %d diverging seed(s)\n", len(report.Failures))
+		}
+		exit = 1
+	} else if spec.ExpectDivergence {
+		fmt.Println("ok: known-bad campaign diverged, minimized, and verified as expected")
+	} else {
+		fmt.Println("ok: zero divergences")
+	}
+
+	if *schemes {
+		if code := schemeSweep(*seeds, *seedStart, pool); code != 0 {
+			exit = code
+		}
+	}
+	os.Exit(exit)
+}
+
+// replayToken parses and replays one repro token, reporting whether the
+// recorded divergence still reproduces. Exit 1 on divergence (the
+// failure is live), 0 when the program runs clean (fixed).
+func replayToken(token string) int {
+	r, err := check.ParseToken(token)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clcheck: bad token: %v\n", err)
+		return 2
+	}
+	fmt.Printf("replaying: variant %s, eccOff %v, seed %d, %d ops, %d blocks\n",
+		r.Variant, r.ECCOff, r.Program.Seed, len(r.Program.Ops), r.Program.Blocks)
+	rr, err := check.Replay(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clcheck: %v\n", err)
+		return 2
+	}
+	if rr.Div != nil {
+		fmt.Printf("DIVERGED at op %d [%s]: %s\n", rr.Div.OpIndex, rr.Div.Kind, rr.Div.Detail)
+		return 1
+	}
+	fmt.Printf("clean: %d writes, %d reads, %d corrected, %d DUEs — divergence no longer reproduces\n",
+		rr.Stats.Writes, rr.Stats.Reads, rr.Stats.Corrections, rr.Stats.DUEs)
+	return 0
+}
+
+// schemeSweep runs the timing-scheme invariant checks over the same
+// seed range and reports issues; returns 1 if any were found.
+func schemeSweep(n int, start int64, pool *figures.Runner) int {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = start + int64(i)
+	}
+	issues, err := check.SchemeSweep(seeds, pool)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clcheck: schemes: %v\n", err)
+		return 1
+	}
+	if len(issues) == 0 {
+		fmt.Printf("ok: scheme sweep clean over %d seed(s)\n", n)
+		return 0
+	}
+	for _, iss := range issues {
+		fmt.Printf("scheme %s seed %d: %s\n", iss.Scheme, iss.Seed, iss.Detail)
+	}
+	return 1
+}
+
+// writeMetrics writes one Prometheus exposition of the campaign
+// counters.
+func writeMetrics(path string, reg *obs.Registry) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = reg.Snapshot().WritePrometheus(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clcheck: metrics: %v\n", err)
+		os.Exit(1)
+	}
+}

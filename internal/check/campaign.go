@@ -1,0 +1,254 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"counterlight/internal/fault"
+	"counterlight/internal/figures"
+	"counterlight/internal/obs"
+)
+
+// CampaignSpec is a JSON-loadable fuzz campaign: how many seeded
+// programs to generate, what faults to sprinkle, which variants to run
+// them on, and whether divergences are the failure mode or the whole
+// point (ExpectDivergence is the known-bad self-test: a campaign with
+// correction disabled MUST diverge, or the harness itself is broken).
+type CampaignSpec struct {
+	Name      string  `json:"name"`
+	Seeds     int     `json:"seeds"`
+	SeedStart int64   `json:"seed_start"`
+	Ops       int     `json:"ops"`
+	Blocks    uint32  `json:"blocks"`
+	FaultRate float64 `json:"fault_rate"`
+	// FaultKinds and FaultRegions use the fault package's String
+	// names ("single-chip", "parity", ...; "meta" aliases "parity").
+	FaultKinds   []string `json:"fault_kinds"`
+	FaultRegions []string `json:"fault_regions"`
+	// Variants lists engine variants to run each program on; empty
+	// means the full differential matrix with cross-variant checks.
+	Variants         []string `json:"variants"`
+	ECCOff           bool     `json:"ecc_off"`
+	ExpectDivergence bool     `json:"expect_divergence"`
+}
+
+// DefaultCampaign is clcheck's no-flags campaign: the full matrix with
+// the generator defaults.
+func DefaultCampaign(seeds int, seedStart int64) CampaignSpec {
+	return CampaignSpec{Name: "default", Seeds: seeds, SeedStart: seedStart}
+}
+
+// LoadCampaign reads a CampaignSpec from a JSON file.
+func LoadCampaign(path string) (CampaignSpec, error) {
+	var spec CampaignSpec
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return spec, err
+	}
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return spec, fmt.Errorf("check: campaign %s: %w", path, err)
+	}
+	if spec.Seeds <= 0 {
+		spec.Seeds = 16
+	}
+	return spec, nil
+}
+
+// genConfig translates the spec's generator knobs.
+func (spec CampaignSpec) genConfig() (GenConfig, error) {
+	cfg := DefaultGenConfig()
+	if spec.Ops > 0 {
+		cfg.Ops = spec.Ops
+	}
+	if spec.Blocks > 0 {
+		cfg.Blocks = spec.Blocks
+	}
+	if spec.FaultRate > 0 {
+		cfg.FaultRate = spec.FaultRate
+	}
+	if len(spec.FaultKinds) > 0 {
+		cfg.Kinds = cfg.Kinds[:0]
+		for _, name := range spec.FaultKinds {
+			k, ok := fault.KindByName(name)
+			if !ok {
+				return cfg, fmt.Errorf("check: unknown fault kind %q", name)
+			}
+			cfg.Kinds = append(cfg.Kinds, k)
+		}
+	}
+	if len(spec.FaultRegions) > 0 {
+		cfg.Regions = cfg.Regions[:0]
+		for _, name := range spec.FaultRegions {
+			r, ok := fault.RegionByName(name)
+			if !ok {
+				return cfg, fmt.Errorf("check: unknown fault region %q", name)
+			}
+			cfg.Regions = append(cfg.Regions, r)
+		}
+	}
+	return cfg, nil
+}
+
+// Failure is one diverging seed, minimized to a replayable token.
+type Failure struct {
+	Seed     int64
+	Div      Divergence
+	Token    string // minimized repro token (clcheck -repro)
+	Verified bool   // the minimized token was re-parsed and re-diverged
+}
+
+// CampaignReport aggregates one campaign run.
+type CampaignReport struct {
+	Spec       CampaignSpec
+	Programs   int
+	Ops        int
+	Faults     int // fault ops executed
+	Failures   []Failure
+	EngineDUEs uint64 // DUEs across all engine runs (visibility, not a check)
+}
+
+// OK reports whether the campaign met its expectation: zero
+// divergences normally, at least one verified minimized divergence
+// when ExpectDivergence is set.
+func (r CampaignReport) OK() bool {
+	if r.Spec.ExpectDivergence {
+		for _, f := range r.Failures {
+			if f.Verified {
+				return true
+			}
+		}
+		return false
+	}
+	return len(r.Failures) == 0
+}
+
+// maxShrink bounds how many diverging seeds a campaign minimizes; the
+// rest are reported unshrunken (shrinking is the expensive part, and
+// a handful of minimal repros is all a bug hunt needs).
+const maxShrink = 4
+
+// RunCampaign generates and checks spec.Seeds programs, fanning the
+// seeds out over the Runner's worker pool (the same -j budget the
+// figure sweeps use). Campaign statistics land in reg under check_*
+// names; pass nil to skip metrics.
+func RunCampaign(spec CampaignSpec, pool *figures.Runner, reg *obs.Registry) (CampaignReport, error) {
+	cfg, err := spec.genConfig()
+	if err != nil {
+		return CampaignReport{Spec: spec}, err
+	}
+	variants := Variants
+	if len(spec.Variants) > 0 {
+		variants = variants[:0:0]
+		for _, name := range spec.Variants {
+			v, err := VariantByName(name)
+			if err != nil {
+				return CampaignReport{Spec: spec}, err
+			}
+			variants = append(variants, v)
+		}
+	}
+
+	report := CampaignReport{Spec: spec}
+	var mu sync.Mutex
+	shrunk := 0
+	tasks := make([]func() error, spec.Seeds)
+	for i := 0; i < spec.Seeds; i++ {
+		seed := spec.SeedStart + int64(i)
+		tasks[i] = func() error {
+			prog := Generate(seed, cfg)
+
+			var firstDiv *Divergence
+			var divVariant string
+			var dues uint64
+			if len(spec.Variants) == 0 {
+				results, d, err := Differential(prog, spec.ECCOff)
+				if err != nil {
+					return err
+				}
+				firstDiv = d
+				if d != nil && len(results) > 0 {
+					// Attribute the shrink to a variant that diverged
+					// on its own oracle, or the first variant for
+					// cross-variant mismatches.
+					divVariant = results[0].Variant
+					for _, rr := range results {
+						if rr.Div != nil {
+							divVariant = rr.Variant
+							break
+						}
+					}
+				}
+				for _, rr := range results {
+					dues += rr.Stats.DUEs
+				}
+			} else {
+				for _, v := range variants {
+					rr, err := Replay(Repro{Variant: v.Name, ECCOff: spec.ECCOff, Program: prog})
+					if err != nil {
+						return err
+					}
+					dues += rr.Stats.DUEs
+					if rr.Div != nil && firstDiv == nil {
+						firstDiv = rr.Div
+						divVariant = v.Name
+					}
+				}
+			}
+
+			faults := 0
+			for _, op := range prog.Ops {
+				if op.Kind == OpFault {
+					faults++
+				}
+			}
+
+			mu.Lock()
+			report.Programs++
+			report.Ops += len(prog.Ops)
+			report.Faults += faults
+			report.EngineDUEs += dues
+			doShrink := firstDiv != nil && shrunk < maxShrink
+			if doShrink {
+				shrunk++
+			}
+			mu.Unlock()
+			if firstDiv == nil {
+				return nil
+			}
+
+			f := Failure{Seed: seed, Div: *firstDiv}
+			if doShrink {
+				// Minimize outside the lock — shrinking replays the
+				// program many times.
+				min := Shrink(Repro{Variant: divVariant, ECCOff: spec.ECCOff, Program: prog})
+				f.Token = min.Token()
+				// Round-trip the token and confirm it still diverges —
+				// the artifact CI uploads must replay.
+				if rt, err := ParseToken(f.Token); err == nil {
+					if rr, err := Replay(rt); err == nil && rr.Div != nil {
+						f.Verified = true
+					}
+				}
+			}
+			mu.Lock()
+			report.Failures = append(report.Failures, f)
+			mu.Unlock()
+			return nil
+		}
+	}
+	if err := pool.Do(tasks...); err != nil {
+		return report, err
+	}
+
+	if reg != nil {
+		labels := []obs.Label{{Key: "campaign", Value: spec.Name}}
+		reg.Counter("check_programs_total", labels...).Add(uint64(report.Programs))
+		reg.Counter("check_ops_total", labels...).Add(uint64(report.Ops))
+		reg.Counter("check_faults_injected_total", labels...).Add(uint64(report.Faults))
+		reg.Counter("check_divergences_total", labels...).Add(uint64(len(report.Failures)))
+		reg.Counter("check_engine_dues_total", labels...).Add(uint64(report.EngineDUEs))
+	}
+	return report, nil
+}

@@ -1,0 +1,162 @@
+package check
+
+import (
+	"math/rand"
+
+	"counterlight/internal/ecc"
+	"counterlight/internal/epoch"
+	"counterlight/internal/fault"
+)
+
+// GenConfig shapes the random program generator. The defaults mix
+// address reuse (a small hot set), mid-stream mode flips, epoch-
+// boundary write bursts, and a light sprinkle of faults — enough to
+// reach every datapath corner in a few hundred ops.
+type GenConfig struct {
+	Ops       int     // program length (ops may slightly exceed: bursts and double faults append atomically)
+	Blocks    uint32  // address-space size in blocks
+	Hot       int     // hot-set size; most accesses reuse these blocks
+	VMs       int     // VM ids drawn for writes (variants clamp further)
+	FaultRate float64 // per-op probability of a fault injection
+	BurstRate float64 // per-op probability of an epoch-boundary write burst
+	FlipRate  float64 // per-op probability the ambient writeback mode flips
+	Kinds     []fault.Kind
+	Regions   []fault.Region
+}
+
+// DefaultGenConfig is the campaign default: 400 ops over 256 blocks.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Ops:       400,
+		Blocks:    256,
+		Hot:       16,
+		VMs:       3,
+		FaultRate: 0.04,
+		BurstRate: 0.03,
+		FlipRate:  0.025,
+		Kinds:     []fault.Kind{fault.SingleChip, fault.DoubleChip, fault.StuckAtZero, fault.BitFlip},
+		Regions:   []fault.Region{fault.AnyRegion, fault.DataRegion, fault.MACRegion, fault.ParityRegion},
+	}
+}
+
+// Generate derives a program from the seed alone: same seed and
+// config, same program, always. The seed is carried in the Program so
+// every failure report can print it.
+func Generate(seed int64, cfg GenConfig) Program {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 400
+	}
+	if cfg.Blocks == 0 {
+		cfg.Blocks = 256
+	}
+	if cfg.Blocks > maxTokenBlocks {
+		cfg.Blocks = maxTokenBlocks
+	}
+	if cfg.Hot <= 0 || uint32(cfg.Hot) > cfg.Blocks {
+		cfg.Hot = int(min(16, cfg.Blocks))
+	}
+	if cfg.VMs <= 0 {
+		cfg.VMs = 1
+	}
+	if len(cfg.Kinds) == 0 {
+		cfg.Kinds = DefaultGenConfig().Kinds
+	}
+	if len(cfg.Regions) == 0 {
+		cfg.Regions = DefaultGenConfig().Regions
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	p := Program{Seed: seed, Blocks: cfg.Blocks}
+
+	hot := make([]uint32, cfg.Hot)
+	for i := range hot {
+		hot[i] = uint32(rng.Intn(int(cfg.Blocks)))
+	}
+	pickBlock := func() uint32 {
+		if rng.Float64() < 0.7 {
+			return hot[rng.Intn(len(hot))]
+		}
+		return uint32(rng.Intn(int(cfg.Blocks)))
+	}
+
+	var written []uint32
+	seen := make(map[uint32]bool)
+	mode := epoch.CounterMode
+
+	write := func(blk uint32, m epoch.Mode) {
+		p.Ops = append(p.Ops, Op{
+			Kind:    OpWrite,
+			Block:   blk,
+			VM:      uint8(rng.Intn(cfg.VMs)),
+			Mode:    m,
+			Pay:     PayloadKind(rng.Intn(int(PayRandom) + 1)),
+			PaySeed: rng.Uint32(),
+		})
+		if !seen[blk] {
+			seen[blk] = true
+			written = append(written, blk)
+		}
+	}
+
+	for len(p.Ops) < cfg.Ops {
+		if rng.Float64() < cfg.FlipRate {
+			if mode == epoch.CounterMode {
+				mode = epoch.Counterless
+			} else {
+				mode = epoch.CounterMode
+			}
+		}
+		r := rng.Float64()
+		switch {
+		case r < cfg.FaultRate && len(written) > 0:
+			blk := written[rng.Intn(len(written))]
+			kind := cfg.Kinds[rng.Intn(len(cfg.Kinds))]
+			region := cfg.Regions[rng.Intn(len(cfg.Regions))]
+			chips := region.Chips()
+			chip := chips[rng.Intn(len(chips))]
+			switch kind {
+			case fault.SingleChip:
+				p.Ops = append(p.Ops, Op{Kind: OpFault, Block: blk, Chip: uint8(chip), Pattern: rng.Uint64() | 1})
+			case fault.DoubleChip:
+				chip2 := (chip + 1 + rng.Intn(ecc.TotalChips-1)) % ecc.TotalChips
+				p.Ops = append(p.Ops,
+					Op{Kind: OpFault, Block: blk, Chip: uint8(chip), Pattern: rng.Uint64() | 1},
+					Op{Kind: OpFault, Block: blk, Chip: uint8(chip2), Pattern: rng.Uint64() | 1})
+			case fault.StuckAtZero:
+				p.Ops = append(p.Ops, Op{Kind: OpFault, Block: blk, Chip: uint8(chip), Stuck: true})
+			case fault.BitFlip:
+				p.Ops = append(p.Ops, Op{Kind: OpFault, Block: blk, Chip: uint8(chip), Pattern: 1 << rng.Intn(64)})
+			}
+			// A faulted block is usually read back promptly, the way a
+			// campaign would.
+			if rng.Float64() < 0.9 {
+				p.Ops = append(p.Ops, Op{Kind: OpRead, Block: blk})
+			}
+		case r < cfg.FaultRate+cfg.BurstRate:
+			// Epoch-boundary stress: a burst of writes to one block
+			// alternating modes, the §IV-B switch pattern at its
+			// sharpest.
+			blk := pickBlock()
+			m := mode
+			for n := 4 + rng.Intn(5); n > 0; n-- {
+				write(blk, m)
+				if m == epoch.CounterMode {
+					m = epoch.Counterless
+				} else {
+					m = epoch.CounterMode
+				}
+			}
+		case r < cfg.FaultRate+cfg.BurstRate+0.45:
+			write(pickBlock(), mode)
+		default:
+			// Reads mostly revisit written blocks; a few probe fresh
+			// addresses to keep the unwritten-read path covered.
+			if len(written) > 0 && rng.Float64() < 0.95 {
+				p.Ops = append(p.Ops, Op{Kind: OpRead, Block: written[rng.Intn(len(written))]})
+			} else {
+				p.Ops = append(p.Ops, Op{Kind: OpRead, Block: pickBlock()})
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,76 @@
+package check
+
+import (
+	"counterlight/internal/cipher"
+	"counterlight/internal/epoch"
+)
+
+// oblock is the oracle's view of one memory block: the plaintext and
+// mode of the last write, the counter the block should hold, and the
+// XOR-accumulated fault pattern per chip. It is deliberately dumb — a
+// handful of assignments with no crypto — so its correctness is
+// auditable by eye.
+type oblock struct {
+	written bool
+	plain   cipher.Block
+	mode    epoch.Mode
+	ctr     uint32 // last counter the block was encrypted under (0 if never counter-mode)
+	vm      int    // VM whose key owns the block (last writer)
+	permCL  bool   // counter saturated; counterless forever (§IV-C)
+	chips   map[int]uint64
+}
+
+// Oracle is the reference model the engine is checked against: a plain
+// map of block index → oblock. It never computes AES or MACs itself;
+// the harness recomputes those through the engine's exported cipher
+// handles and compares codewords bit for bit.
+type Oracle struct {
+	blocks map[uint32]*oblock
+}
+
+// NewOracle returns an empty reference model.
+func NewOracle() *Oracle {
+	return &Oracle{blocks: make(map[uint32]*oblock)}
+}
+
+// block returns the model for blk, creating an unwritten one.
+func (o *Oracle) block(blk uint32) *oblock {
+	b, ok := o.blocks[blk]
+	if !ok {
+		b = &oblock{chips: make(map[int]uint64)}
+		o.blocks[blk] = b
+	}
+	return b
+}
+
+// noteWrite records a completed write: new plaintext and mode, all
+// outstanding faults gone (the write overwrote the whole codeword).
+func (o *Oracle) noteWrite(blk uint32, plain cipher.Block, mode epoch.Mode, ctr uint32, vm int, permCL bool) {
+	b := o.block(blk)
+	b.written = true
+	b.plain = plain
+	b.mode = mode
+	b.ctr = ctr
+	b.vm = vm
+	b.permCL = permCL
+	clear(b.chips)
+}
+
+// noteFault XOR-accumulates a fault pattern on one chip. Two identical
+// faults cancel; a zero accumulated pattern means the chip is clean.
+func (o *Oracle) noteFault(blk uint32, chip int, pattern uint64) {
+	b := o.block(blk)
+	b.chips[chip] ^= pattern
+	if b.chips[chip] == 0 {
+		delete(b.chips, chip)
+	}
+}
+
+// faultyChips returns the chips whose accumulated pattern is nonzero.
+func (b *oblock) faultyChips() []int {
+	out := make([]int, 0, len(b.chips))
+	for c := range b.chips {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestSeedAudit enforces the repo's reproducibility rule: every use of
+// math/rand under internal/ and cmd/ must flow from an explicit seed.
+// Three violation classes:
+//
+//   - rand.Seed(...) — reseeds the shared global source;
+//   - package-level rand.Intn/Uint64/... calls — draw from the
+//     implicitly seeded global source, so a failure can't be replayed;
+//   - rand.New/NewSource whose seed expression mentions the time
+//     package — a time-derived seed is a fresh seed every run.
+//
+// A deterministic simulator whose test failures can't be reproduced
+// from a printed seed is worse than a flaky one, because the failure
+// evaporates before it can be debugged.
+func TestSeedAudit(t *testing.T) {
+	root := repoRoot(t)
+	fset := token.NewFileSet()
+	var violations []string
+	for _, dir := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(filepath.Join(root, dir), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return fmt.Errorf("parse %s: %w", path, err)
+			}
+			violations = append(violations, auditFile(fset, f)...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range violations {
+		t.Errorf("implicit randomness: %s", v)
+	}
+}
+
+// globalRandFns are the math/rand package-level functions backed by
+// the global source.
+var globalRandFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+}
+
+// auditFile scans one parsed file for the three violation classes.
+func auditFile(fset *token.FileSet, f *ast.File) []string {
+	randName, timeName := "", ""
+	for _, imp := range f.Imports {
+		path, _ := strconv.Unquote(imp.Path.Value)
+		local := ""
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		switch path {
+		case "math/rand", "math/rand/v2":
+			if local == "" {
+				local = "rand"
+			}
+			randName = local
+		case "time":
+			if local == "" {
+				local = "time"
+			}
+			timeName = local
+		}
+	}
+	if randName == "" || randName == "_" || randName == "." {
+		return nil
+	}
+	var out []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != randName || pkg.Obj != nil {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		switch {
+		case sel.Sel.Name == "Seed":
+			out = append(out, fmt.Sprintf("%s: %s.Seed reseeds the global source", pos, randName))
+		case globalRandFns[sel.Sel.Name]:
+			out = append(out, fmt.Sprintf("%s: %s.%s draws from the implicit global source",
+				pos, randName, sel.Sel.Name))
+		case sel.Sel.Name == "New" || sel.Sel.Name == "NewSource":
+			if timeName != "" && mentionsPackage(call.Args, timeName) {
+				out = append(out, fmt.Sprintf("%s: %s.%s seeded from the clock — unreproducible",
+					pos, randName, sel.Sel.Name))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mentionsPackage reports whether any expression references the given
+// package identifier (e.g. time.Now().UnixNano() inside a seed).
+func mentionsPackage(exprs []ast.Expr, pkgName string) bool {
+	found := false
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == pkgName && id.Obj == nil {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// repoRoot walks up from the package directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above package directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,112 @@
+package check
+
+// Shrink minimizes a failing repro to the smallest program that still
+// diverges, using delta debugging over the op sequence followed by
+// payload/pattern canonicalization and address compaction. The result
+// replays the *same class* of failure (any divergence counts — a
+// minimization that surfaces a simpler bug is a win, not a miss); its
+// Token() is what CI prints and `clcheck -repro` replays.
+//
+// Shrinking replays the program once per candidate, so it is O(n log n)
+// engine runs on the already-truncated sequence — cheap at campaign
+// program sizes.
+func Shrink(r Repro) Repro {
+	fails := func(p Program) bool {
+		rr, err := Replay(Repro{Variant: r.Variant, ECCOff: r.ECCOff, Program: p})
+		return err == nil && rr.Div != nil
+	}
+	rr, err := Replay(r)
+	if err != nil || rr.Div == nil {
+		return r // not failing (or unknown variant): nothing to shrink
+	}
+
+	// Everything after the first divergence is dead weight.
+	p := r.Program
+	if n := rr.Div.OpIndex + 1; n < len(p.Ops) {
+		p.Ops = append([]Op(nil), p.Ops[:n]...)
+	} else {
+		p.Ops = append([]Op(nil), p.Ops...)
+	}
+
+	// ddmin: remove chunks, halving the chunk size on a full pass with
+	// no progress, down to single ops.
+	for chunk := max(1, len(p.Ops)/2); chunk >= 1; {
+		removed := false
+		for start := 0; start < len(p.Ops); {
+			end := start + chunk
+			if end > len(p.Ops) {
+				end = len(p.Ops)
+			}
+			cand := p
+			cand.Ops = append(append([]Op(nil), p.Ops[:start]...), p.Ops[end:]...)
+			if len(cand.Ops) > 0 && fails(cand) {
+				p = cand
+				removed = true
+				// keep start: the next chunk slid into place
+			} else {
+				start = end
+			}
+		}
+		if !removed {
+			if chunk == 1 {
+				break
+			}
+			chunk /= 2
+		}
+		if chunk > len(p.Ops) && len(p.Ops) > 0 {
+			chunk = len(p.Ops)
+		}
+	}
+
+	// Canonicalize: zero payloads, single-bit fault patterns. Each
+	// simplification is kept only if the program still fails.
+	for i := range p.Ops {
+		op := p.Ops[i]
+		switch op.Kind {
+		case OpWrite:
+			if op.Pay != PayZero || op.PaySeed != 0 {
+				cand := cloneProgram(p)
+				cand.Ops[i].Pay = PayZero
+				cand.Ops[i].PaySeed = 0
+				if fails(cand) {
+					p = cand
+				}
+			}
+		case OpFault:
+			if op.Stuck || op.Pattern != 1 {
+				cand := cloneProgram(p)
+				cand.Ops[i].Stuck = false
+				cand.Ops[i].Pattern = 1
+				if fails(cand) {
+					p = cand
+				}
+			}
+		}
+	}
+
+	// Compact the address space: renumber blocks in order of first use.
+	remap := make(map[uint32]uint32)
+	cand := cloneProgram(p)
+	for i, op := range cand.Ops {
+		n, ok := remap[op.Block]
+		if !ok {
+			n = uint32(len(remap))
+			remap[op.Block] = n
+		}
+		cand.Ops[i].Block = n
+	}
+	cand.Blocks = uint32(len(remap))
+	if cand.Blocks == 0 {
+		cand.Blocks = 1
+	}
+	if fails(cand) {
+		p = cand
+	}
+
+	return Repro{Variant: r.Variant, ECCOff: r.ECCOff, Program: p}
+}
+
+func cloneProgram(p Program) Program {
+	p.Ops = append([]Op(nil), p.Ops...)
+	return p
+}

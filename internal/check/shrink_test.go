@@ -1,0 +1,68 @@
+package check
+
+import (
+	"testing"
+
+	"counterlight/internal/epoch"
+)
+
+// TestShrinkMinimizesGeneratedFailure takes a whole generated program
+// whose eccOff replay diverges and checks the shrinker boils it down
+// to a tiny, canonicalized, still-failing repro.
+func TestShrinkMinimizesGeneratedFailure(t *testing.T) {
+	cfg := DefaultGenConfig()
+	var failing Repro
+	found := false
+	for seed := int64(1); seed <= 20 && !found; seed++ {
+		prog := Generate(seed, cfg)
+		r := Repro{Variant: "aes128", ECCOff: true, Program: prog}
+		rr, err := Replay(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.Div != nil {
+			failing, found = r, true
+		}
+	}
+	if !found {
+		t.Fatal("no seed in 1..20 diverged under eccOff — generator fault rate broken?")
+	}
+
+	min := Shrink(failing)
+	if len(min.Program.Ops) >= len(failing.Program.Ops) {
+		t.Fatalf("shrinker made no progress: %d -> %d ops",
+			len(failing.Program.Ops), len(min.Program.Ops))
+	}
+	if len(min.Program.Ops) > 8 {
+		t.Errorf("minimal eccOff repro should be a handful of ops, got %d (seed %d)",
+			len(min.Program.Ops), failing.Program.Seed)
+	}
+	rr, err := Replay(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Div == nil {
+		t.Fatalf("shrunken repro no longer fails (seed %d)", failing.Program.Seed)
+	}
+	// Address compaction: the blocks actually referenced fit Blocks.
+	for _, op := range min.Program.Ops {
+		if op.Block >= min.Program.Blocks {
+			t.Fatalf("compacted repro references block %d of %d", op.Block, min.Program.Blocks)
+		}
+	}
+}
+
+// TestShrinkPassesThroughHealthyRepro pins the shrinker's contract on
+// non-failing input: untouched.
+func TestShrinkPassesThroughHealthyRepro(t *testing.T) {
+	prog := Program{Seed: 3, Blocks: 2, Ops: []Op{
+		{Kind: OpWrite, Block: 0, Mode: epoch.Counterless, Pay: PayRandom, PaySeed: 77},
+		{Kind: OpRead, Block: 0},
+	}}
+	r := Repro{Variant: "aes128", Program: prog}
+	min := Shrink(r)
+	if len(min.Program.Ops) != len(prog.Ops) {
+		t.Fatalf("shrinker modified a healthy program: %d -> %d ops",
+			len(prog.Ops), len(min.Program.Ops))
+	}
+}

@@ -1,0 +1,95 @@
+package check
+
+import (
+	"fmt"
+
+	"counterlight/internal/core"
+)
+
+// variantMemSize covers every block index a token can address
+// (maxTokenBlocks · 64 bytes).
+const variantMemSize = maxTokenBlocks * 64
+
+// Variant is one engine configuration the differential harness runs
+// programs on. Variants sharing a Group must produce bit-identical
+// per-op read outcomes for the same program: key size, memo capacity,
+// and VM count may change ciphertexts and hit rates but never the
+// plaintext or mode a read returns. Variants that legitimately change
+// visible behavior (a lower counter limit changes when saturation
+// flips modes; disabling entropy disambiguation can turn a correction
+// into a DUE) get their own group.
+type Variant struct {
+	Name  string
+	Group string
+	VMs   int
+	opts  func() core.EngineOptions
+}
+
+// Options builds the engine options for one replay. eccOff layers the
+// known-bad DisableCorrection mutation on top.
+func (v Variant) Options(eccOff bool) core.EngineOptions {
+	o := v.opts()
+	o.DisableCorrection = eccOff
+	return o
+}
+
+// satCounterLimit is the ctr-sat variant's deliberately tiny counter
+// limit, low enough that a few hundred writes saturate blocks.
+const satCounterLimit = 24
+
+func baseOptions() core.EngineOptions {
+	o := core.DefaultEngineOptions()
+	o.MemSize = variantMemSize
+	return o
+}
+
+// Variants is the engine-configuration matrix every program is
+// replayed across.
+var Variants = []Variant{
+	{Name: "aes128", Group: "base", VMs: 1, opts: baseOptions},
+	{Name: "aes256", Group: "base", VMs: 1, opts: func() core.EngineOptions {
+		o := baseOptions()
+		o.AESKeyBytes = 32
+		return o
+	}},
+	{Name: "memo-tiny", Group: "base", VMs: 1, opts: func() core.EngineOptions {
+		o := baseOptions()
+		o.MemoEntries = 2
+		return o
+	}},
+	{Name: "multi-vm", Group: "base", VMs: 3, opts: func() core.EngineOptions {
+		o := baseOptions()
+		o.VMs = 3
+		return o
+	}},
+	{Name: "entropy-off", Group: "entropy-off", VMs: 1, opts: func() core.EngineOptions {
+		o := baseOptions()
+		o.EntropyDisambiguation = false
+		return o
+	}},
+	{Name: "ctr-sat", Group: "ctr-sat", VMs: 1, opts: func() core.EngineOptions {
+		o := baseOptions()
+		o.CounterLimit = satCounterLimit
+		return o
+	}},
+}
+
+// VariantByName resolves a variant (for -repro tokens and campaign
+// specs).
+func VariantByName(name string) (Variant, error) {
+	for _, v := range Variants {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return Variant{}, fmt.Errorf("check: unknown variant %q", name)
+}
+
+// VariantNames lists the matrix (help text, campaign validation).
+func VariantNames() []string {
+	names := make([]string, len(Variants))
+	for i, v := range Variants {
+		names[i] = v.Name
+	}
+	return names
+}

@@ -31,6 +31,14 @@ type EngineOptions struct {
 	// §IV-C saturation path: a block whose counter would exceed the
 	// limit permanently switches to counterless mode.
 	CounterLimit uint32
+	// DisableCorrection skips the Fig. 14 trial-and-error correction
+	// path entirely: a failed fast-path MAC check becomes an
+	// immediate detected uncorrectable error. This is the
+	// differential-verification harness's "known-bad mutation"
+	// switch (internal/check): with correction off, any injected
+	// fault must surface as an oracle divergence, proving the
+	// harness detects missing ECC rather than silently passing.
+	DisableCorrection bool
 }
 
 // DefaultEngineOptions uses a small (test-friendly) memory with the
@@ -210,6 +218,26 @@ func (e *Engine) Counters() *ctrblock.Store { return e.ctrs }
 // Memo exposes the memoization table.
 func (e *Engine) Memo() *memoize.Table { return e.memo }
 
+// CounterCipher exposes the counter-mode cipher. The verification
+// oracle (internal/check) recomputes pads, counter-AES results, and
+// MACs independently through it, so the RMCC memoization table can be
+// checked word-for-word against direct AES.
+func (e *Engine) CounterCipher() *cipher.CounterMode { return e.cm }
+
+// CounterlessCipher exposes VM vm's counterless cipher (nil when vm
+// is out of range), for the same independent-recomputation checks.
+func (e *Engine) CounterlessCipher(vm int) *cipher.Counterless {
+	if vm < 0 || vm >= len(e.cls) {
+		return nil
+	}
+	return e.cls[vm]
+}
+
+// IsPermanentCounterless reports whether the block has permanently
+// switched to counterless mode (saturated counter, §IV-C, or
+// ForceCounterless).
+func (e *Engine) IsPermanentCounterless(addr uint64) bool { return e.permanentCounterless[addr] }
+
 func (e *Engine) checkAddr(addr uint64) error {
 	if addr%64 != 0 {
 		return fmt.Errorf("core: address %#x not block aligned", addr)
@@ -321,6 +349,12 @@ func (e *Engine) Read(addr uint64) (cipher.Block, ReadInfo, error) {
 		return plain, info, nil
 	}
 	e.m.macFailures.Inc()
+	if e.opts.DisableCorrection {
+		e.m.dues.Inc()
+		e.tracer.Emit(e.opIndex(), obs.PhaseInstant, obs.CatECC, "due",
+			obs.A("addr", int64(addr)), obs.A("correction_disabled", 1))
+		return cipher.Block{}, info, fmt.Errorf("core: MAC check failed at %#x (correction disabled)", addr)
+	}
 
 	// Correction path: two EncryptionMetadata hypotheses (Fig. 14).
 	res := ecc.Correct(cw, e.hypotheses(addr))

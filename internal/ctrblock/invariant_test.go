@@ -1,0 +1,63 @@
+package ctrblock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMetadataConstants pins the relationship the engine's 4-byte
+// EncryptionMetadata encoding relies on: the counterless flag is the
+// one value above CounterMax, and both fit the 32-bit field.
+func TestMetadataConstants(t *testing.T) {
+	if CounterlessFlag != CounterMax+1 {
+		t.Errorf("CounterlessFlag = %d, want CounterMax+1 = %d",
+			uint64(CounterlessFlag), uint64(CounterMax)+1)
+	}
+	if uint64(CounterlessFlag) != 1<<32-1 {
+		t.Errorf("CounterlessFlag = %d does not fill the 32-bit field", uint64(CounterlessFlag))
+	}
+}
+
+// TestCounterMonotonicityInvariant is the store-level half of the
+// differential harness's per-block monotonicity probe: under a seeded
+// random mix of legal jumps and illegal (stale, equal, over-max)
+// updates, every block's counter only ever moves forward, rejected
+// updates leave state untouched, and the tree stays verifiable
+// throughout. The seed is printed on failure for replay.
+func TestCounterMonotonicityInvariant(t *testing.T) {
+	const seed = 77
+	rng := rand.New(rand.NewSource(seed))
+	s := newStore(t)
+
+	const blocks = 32
+	prev := make([]uint32, blocks)
+	for step := 0; step < 500; step++ {
+		bi := uint64(rng.Intn(blocks))
+		addr := bi * testBlock
+		switch rng.Intn(5) {
+		case 0: // stale or equal value: must be rejected, state unchanged
+			if err := s.Increment(addr, prev[bi]); err == nil && prev[bi] <= s.Counter(addr) {
+				// Increment to the current value must fail; to a past
+				// value likewise.
+				t.Fatalf("seed %d step %d: non-increasing update accepted at block %d", seed, step, bi)
+			}
+		case 1: // beyond CounterMax: must be rejected
+			if err := s.Increment(addr, CounterlessFlag); err == nil {
+				t.Fatalf("seed %d step %d: counter reached the counterless flag", seed, step)
+			}
+		default: // legal forward jump (memoization-style strides included)
+			next := s.Counter(addr) + 1 + uint32(rng.Intn(4096))
+			if err := s.Increment(addr, next); err != nil {
+				t.Fatalf("seed %d step %d: legal increment rejected: %v", seed, step, err)
+			}
+		}
+		if got := s.Counter(addr); got < prev[bi] {
+			t.Fatalf("seed %d step %d: counter moved backward %d -> %d at block %d",
+				seed, step, prev[bi], got, bi)
+		}
+		prev[bi] = s.Counter(addr)
+		if !s.VerifyCounter(addr) {
+			t.Fatalf("seed %d step %d: tree verification failed after legitimate traffic", seed, step)
+		}
+	}
+}

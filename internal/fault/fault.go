@@ -3,6 +3,13 @@
 // evaluation: single-chip errors must always correct (chipkill),
 // multi-chip errors must always be *detected* (DUE) rather than
 // silently consumed, and corrections must identify the faulty chip.
+//
+// Injection sites are addressable by region: the eight data chips,
+// the MAC chip, or the parity chip — which is where Counter-light
+// stores the EncryptionMetadata (the metadata is XORed into the
+// parity word, Fig. 12), so a parity-region campaign is precisely a
+// metadata-bit fault campaign. The differential-verification harness
+// (internal/check) layers its fault-op generator on Plan and Site.
 package fault
 
 import (
@@ -45,6 +52,140 @@ func (k Kind) String() string {
 	}
 }
 
+// KindByName resolves a Kind from its String form.
+func KindByName(name string) (Kind, bool) {
+	for _, k := range []Kind{SingleChip, DoubleChip, StuckAtZero, BitFlip} {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Region selects which chips of the rank a campaign may corrupt.
+type Region int
+
+const (
+	// AnyRegion targets all ten chips uniformly (the classic
+	// whole-rank campaign).
+	AnyRegion Region = iota
+	// DataRegion targets the eight data chips only.
+	DataRegion
+	// MACRegion targets the MAC chip.
+	MACRegion
+	// ParityRegion targets the parity chip — the EncryptionMetadata
+	// region, since the metadata is XORed into the parity word. A
+	// parity campaign stresses exactly the decode path the paper's
+	// two-hypothesis correction exists for.
+	ParityRegion
+)
+
+func (r Region) String() string {
+	switch r {
+	case AnyRegion:
+		return "any"
+	case DataRegion:
+		return "data"
+	case MACRegion:
+		return "mac"
+	case ParityRegion:
+		return "parity"
+	default:
+		return fmt.Sprintf("region(%d)", int(r))
+	}
+}
+
+// RegionByName resolves a Region from its String form ("meta" is
+// accepted as an alias for "parity", the metadata region).
+func RegionByName(name string) (Region, bool) {
+	switch name {
+	case "any":
+		return AnyRegion, true
+	case "data":
+		return DataRegion, true
+	case "mac":
+		return MACRegion, true
+	case "parity", "meta":
+		return ParityRegion, true
+	}
+	return 0, false
+}
+
+// Chips lists the chip indices the region addresses.
+func (r Region) Chips() []int {
+	switch r {
+	case DataRegion:
+		return []int{0, 1, 2, 3, 4, 5, 6, 7}
+	case MACRegion:
+		return []int{ecc.MACChip}
+	case ParityRegion:
+		return []int{ecc.ParityChip}
+	default:
+		return []int{0, 1, 2, 3, 4, 5, 6, 7, ecc.MACChip, ecc.ParityChip}
+	}
+}
+
+// Site is one concrete injection point: a chip and the XOR pattern
+// applied to it. A zero pattern is a no-op (the fault is invisible).
+type Site struct {
+	Chip    int
+	Pattern uint64
+}
+
+// Apply injects the site's fault into the stored block at addr.
+func (s Site) Apply(e *core.Engine, addr uint64) error {
+	return e.InjectFault(addr, s.Chip, s.Pattern)
+}
+
+// chipWord reads the current content of one chip from a snapshot.
+func chipWord(cw ecc.CodeWord, chip int) uint64 {
+	switch {
+	case chip < ecc.DataChips:
+		return cw.Data[chip]
+	case chip == ecc.MACChip:
+		return cw.MAC
+	default:
+		return cw.Parity
+	}
+}
+
+// Plan draws the injection sites for one trial of the given kind
+// within the region, consuming the rng exactly once per decision so
+// campaigns replay bit-identically from a seed. StuckAtZero needs the
+// block's current content, hence the engine and address.
+//
+// DoubleChip picks its first chip inside the region and its second
+// anywhere in the rank (a two-chip fault confined to a one-chip
+// region is impossible).
+func Plan(rng *rand.Rand, kind Kind, region Region, e *core.Engine, addr uint64) ([]Site, error) {
+	chips := region.Chips()
+	chip := chips[rng.Intn(len(chips))]
+	switch kind {
+	case SingleChip:
+		return []Site{{Chip: chip, Pattern: rng.Uint64() | 1}}, nil
+	case DoubleChip:
+		chip2 := (chip + 1 + rng.Intn(ecc.TotalChips-1)) % ecc.TotalChips
+		return []Site{
+			{Chip: chip, Pattern: rng.Uint64() | 1},
+			{Chip: chip2, Pattern: rng.Uint64() | 1},
+		}, nil
+	case StuckAtZero:
+		cw, ok := e.Snapshot(addr)
+		if !ok {
+			return nil, fmt.Errorf("fault: no block at %#x", addr)
+		}
+		cur := chipWord(cw, chip)
+		if cur == 0 {
+			cur = 1 // ensure the fault is visible
+		}
+		return []Site{{Chip: chip, Pattern: cur}}, nil
+	case BitFlip:
+		return []Site{{Chip: chip, Pattern: 1 << rng.Intn(64)}}, nil
+	default:
+		return nil, fmt.Errorf("fault: unknown kind %v", kind)
+	}
+}
+
 // Outcome tallies a campaign.
 type Outcome struct {
 	Trials          int
@@ -56,8 +197,15 @@ type Outcome struct {
 }
 
 // Campaign injects n faults of the given kind into fresh blocks and
-// reads them back, alternating encryption modes.
+// reads them back, alternating encryption modes. It is CampaignIn
+// over the whole rank.
 func Campaign(e *core.Engine, kind Kind, n int, seed int64) (Outcome, error) {
+	return CampaignIn(e, kind, AnyRegion, n, seed)
+}
+
+// CampaignIn is Campaign restricted to one region of the codeword, so
+// campaigns can target the metadata bits (ParityRegion) specifically.
+func CampaignIn(e *core.Engine, kind Kind, region Region, n int, seed int64) (Outcome, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var out Outcome
 	for i := 0; i < n; i++ {
@@ -70,49 +218,19 @@ func Campaign(e *core.Engine, kind Kind, n int, seed int64) (Outcome, error) {
 			mode = epoch.Counterless
 		}
 		if err := e.Write(addr, plain, mode); err != nil {
-			return out, fmt.Errorf("fault: write: %w", err)
+			return out, fmt.Errorf("fault: write (seed=%d trial=%d): %w", seed, i, err)
 		}
 
-		chip := rng.Intn(ecc.TotalChips)
-		switch kind {
-		case SingleChip:
-			if err := e.InjectFault(addr, chip, rng.Uint64()|1); err != nil {
-				return out, err
-			}
-		case DoubleChip:
-			chip2 := (chip + 1 + rng.Intn(ecc.TotalChips-1)) % ecc.TotalChips
-			if err := e.InjectFault(addr, chip, rng.Uint64()|1); err != nil {
-				return out, err
-			}
-			if err := e.InjectFault(addr, chip2, rng.Uint64()|1); err != nil {
-				return out, err
-			}
-		case StuckAtZero:
-			// Zero the chip by XORing its current content.
-			cw, ok := e.Snapshot(addr)
-			if !ok {
-				return out, fmt.Errorf("fault: no block at %#x", addr)
-			}
-			var cur uint64
-			switch {
-			case chip < ecc.DataChips:
-				cur = cw.Data[chip]
-			case chip == ecc.MACChip:
-				cur = cw.MAC
-			default:
-				cur = cw.Parity
-			}
-			if cur == 0 {
-				cur = 1 // ensure the fault is visible
-			}
-			if err := e.InjectFault(addr, chip, cur); err != nil {
-				return out, err
-			}
-		case BitFlip:
-			if err := e.InjectFault(addr, chip, 1<<rng.Intn(64)); err != nil {
-				return out, err
+		sites, err := Plan(rng, kind, region, e, addr)
+		if err != nil {
+			return out, fmt.Errorf("fault: plan (seed=%d trial=%d): %w", seed, i, err)
+		}
+		for _, s := range sites {
+			if err := s.Apply(e, addr); err != nil {
+				return out, fmt.Errorf("fault: inject (seed=%d trial=%d): %w", seed, i, err)
 			}
 		}
+		chip := sites[0].Chip
 
 		got, info, err := e.Read(addr)
 		switch {

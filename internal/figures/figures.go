@@ -248,11 +248,10 @@ func cross(ws []trace.Workload, vs ...variant) []job {
 	return jobs
 }
 
-// prewarm fills the run cache for the jobs through a bounded pool of
-// r.Workers simulations. Duplicate and already-cached jobs are dropped
-// before any worker starts. With Workers <= 1 it is a no-op and the
-// assembly phase simulates lazily, exactly like the serial runner
-// always has.
+// prewarm fills the run cache for the jobs through the Do pool.
+// Duplicate and already-cached jobs are dropped before any worker
+// starts. With Workers <= 1 it is a no-op and the assembly phase
+// simulates lazily, exactly like the serial runner always has.
 func (r *Runner) prewarm(jobs []job) error {
 	if r.Workers <= 1 {
 		return nil
@@ -272,24 +271,45 @@ func (r *Runner) prewarm(jobs []job) error {
 	}
 	r.mu.Unlock()
 
-	sem := make(chan struct{}, r.Workers)
+	tasks := make([]func() error, 0, len(todo))
+	for _, j := range todo {
+		j := j
+		tasks = append(tasks, func() error {
+			_, err := r.run(j.w, j.v)
+			return err
+		})
+	}
+	return r.Do(tasks...)
+}
+
+// Do runs the tasks through the Runner's bounded worker pool (at most
+// max(1, Workers) at a time) and returns the first error encountered;
+// every task runs regardless. The sweep prewarmer and the
+// differential-verification harness (internal/check) share this pool,
+// so a single -j flag budgets all of a process's concurrent work.
+func (r *Runner) Do(tasks ...func() error) error {
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
 	var firstErr error
-	for _, j := range todo {
+	for _, task := range tasks {
 		wg.Add(1)
-		go func(j job) {
+		go func(task func() error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			if _, err := r.run(j.w, j.v); err != nil {
+			if err := task(); err != nil {
 				errMu.Lock()
 				if firstErr == nil {
 					firstErr = err
 				}
 				errMu.Unlock()
 			}
-		}(j)
+		}(task)
 	}
 	wg.Wait()
 	return firstErr

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHubConcurrentChurn hammers the hub's full lifecycle from many
+// goroutines at once — subscribe, read, double-cancel, publish, and a
+// mid-flight close — so the race detector can see every lock ordering.
+// The disconnect path (cancel racing publish racing close) is exactly
+// where a naive hub corrupts its subscriber map.
+func TestHubConcurrentChurn(t *testing.T) {
+	h := newHub()
+	var wg sync.WaitGroup
+
+	// Publishers: keep events flowing through the whole churn.
+	stop := make(chan struct{})
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.publish("epoch", []byte(`{"run":1}`))
+				}
+			}
+		}()
+	}
+
+	// Subscribers: churn through subscribe → read a little → cancel,
+	// with cancel called twice (it must be idempotent) and sometimes
+	// from a second goroutine.
+	for s := 0; s < 32; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ch, cancel := h.subscribe()
+				// Drain a few events (or observe closure).
+				for j := 0; j < 3; j++ {
+					if _, open := <-ch; !open {
+						break
+					}
+				}
+				if s%2 == 0 {
+					done := make(chan struct{})
+					go func() { cancel(); close(done) }()
+					cancel()
+					<-done
+				} else {
+					cancel()
+					cancel()
+				}
+			}
+		}(s)
+	}
+
+	// Let the churn run, then close the hub underneath it: subscribers
+	// mid-read must observe closed channels, not deadlock.
+	time.Sleep(20 * time.Millisecond)
+	h.close()
+	h.close() // idempotent
+	close(stop)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("hub churn deadlocked")
+	}
+
+	// Post-close: publishing is a no-op, subscribing yields a closed
+	// channel, and the client gauge reads zero.
+	h.publish("epoch", []byte("{}"))
+	ch, cancel := h.subscribe()
+	defer cancel()
+	if _, open := <-ch; open {
+		t.Error("subscribe after close returned an open channel")
+	}
+	if got := h.clients.Value(); got != 0 {
+		t.Errorf("client gauge = %d after close, want 0", got)
+	}
+}
+
+// TestShutdownWithLiveSSEClients points real HTTP streaming clients at
+// a live server, churns connects/disconnects while Shutdown fires, and
+// requires every client to come unstuck. This is the server-level
+// disconnect path the hub churn test exercises in miniature.
+func TestShutdownWithLiveSSEClients(t *testing.T) {
+	srv := New()
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if c%2 == 0 {
+				// Half the clients hang up on their own mid-stream.
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, 30*time.Millisecond)
+				defer cancel()
+			}
+			req, err := http.NewRequestWithContext(ctx, "GET", "http://"+addr+"/api/stream", nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errs <- fmt.Errorf("client %d connect: %w", c, err)
+				return
+			}
+			defer resp.Body.Close()
+			br := bufio.NewReader(resp.Body)
+			for {
+				if _, err := br.ReadString('\n'); err != nil {
+					return // stream ended: shutdown or client timeout
+				}
+			}
+		}(c)
+	}
+
+	// Give the clients time to attach, keep events flowing, then pull
+	// the rug.
+	time.Sleep(50 * time.Millisecond)
+	srv.Pool().hub.publish("epoch", []byte(`{"run":1}`))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with live clients: %v", err)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE clients still blocked after Shutdown")
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
