@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet fmt check checkers fuzz clean
+.PHONY: build test race vet fmt check checkers concurrent-race serve fuzz clean
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,16 @@ check: fmt vet build race
 checkers:
 	$(GO) run ./cmd/clcheck -seeds 64 -j 8
 	$(GO) run ./cmd/clcheck -campaign internal/check/testdata/knownbad.json
+
+# The concurrent differential campaign under the race detector: racing
+# submitters through the sharded mcpool engine, every shard journal
+# replayed serially against the oracle.
+concurrent-race:
+	$(GO) test -race ./internal/mcpool/... ./internal/check/... -run Concurrent
+
+# Run the sharded engine as a standing service with live metrics.
+serve:
+	$(GO) run ./cmd/clserve -conns 8 -duration 0 -addr 127.0.0.1:8091
 
 # Native fuzzing, one target at a time (go test allows a single -fuzz
 # per invocation). FUZZTIME=5m for a longer local hunt.

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"counterlight/internal/cipher"
+	"counterlight/internal/core"
+	"counterlight/internal/epoch"
+	"counterlight/internal/mcpool"
+)
+
+// runConcurrentBench is the -concurrent mode: the sharded mcpool
+// engine versus a bare serial engine on the same fixed-seed trace.
+// It prints throughput for both and — the acceptance bar — verifies
+// the concurrent run's aggregate read/writeback/mode-switch counts
+// and every per-op plaintext are bit-identical to the serial run.
+// Exit 1 on any mismatch.
+func runConcurrentBench(quick bool, jobs int) int {
+	const seed = 42
+	ops := 200_000
+	if quick {
+		ops = 50_000
+	}
+	opts := core.DefaultEngineOptions()
+	opts.VMs = 2 // the schedule spreads writes across two VM keys (§IV-D)
+	sched := mcpool.Schedule(mcpool.ScheduleConfig{
+		Ops:          ops,
+		Blocks:       4096,
+		ReadFraction: 0.5,
+		VMs:          2,
+		Seed:         seed,
+	})
+
+	// Serial reference: one engine, trace order.
+	eng, err := core.NewEngine(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clbench: -concurrent: %v\n", err)
+		return 1
+	}
+	serialPlain := make([]cipherBlockOrZero, len(sched))
+	lastMode := make(map[uint64]epoch.Mode)
+	var serialSwitches uint64
+	serialStart := time.Now()
+	for i, req := range sched {
+		switch req.Kind {
+		case mcpool.OpRead:
+			plain, _, err := eng.Read(req.Addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "clbench: -concurrent: serial op %d: %v\n", i, err)
+				return 1
+			}
+			serialPlain[i] = cipherBlockOrZero{ok: true, b: plain}
+		case mcpool.OpWrite:
+			if err := eng.WriteAs(req.VM, req.Addr, req.Data, req.Mode); err != nil {
+				fmt.Fprintf(os.Stderr, "clbench: -concurrent: serial op %d: %v\n", i, err)
+				return 1
+			}
+			if last, ok := lastMode[req.Addr]; ok && last != req.Mode {
+				serialSwitches++
+			}
+			lastMode[req.Addr] = req.Mode
+		}
+	}
+	serialElapsed := time.Since(serialStart)
+	serialStats := eng.Stats()
+
+	// Concurrent run: sharded pool, one submitter per -j worker.
+	pool, err := mcpool.New(mcpool.Config{Shards: 8, Watermark: -1, Engine: opts})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clbench: -concurrent: %v\n", err)
+		return 1
+	}
+	concStart := time.Now()
+	resps, err := mcpool.RunPartitioned(pool, sched, jobs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clbench: -concurrent: %v\n", err)
+		return 1
+	}
+	pool.Flush()
+	concElapsed := time.Since(concStart)
+	agg := pool.Aggregate()
+	pool.Close()
+
+	fmt.Printf("concurrent engine check: %d ops, fixed seed %d, 8 shards, %d submitters\n", ops, seed, jobs)
+	fmt.Printf("  serial:     %8.1f kops/s  (%.2fs)\n", float64(ops)/serialElapsed.Seconds()/1e3, serialElapsed.Seconds())
+	fmt.Printf("  concurrent: %8.1f kops/s  (%.2fs)  batches=%d contention=%d max-queue-depth=%d\n",
+		float64(ops)/concElapsed.Seconds()/1e3, concElapsed.Seconds(), agg.Batches, agg.Contention, agg.MaxQueueDepth)
+
+	mismatches := 0
+	row := func(name string, conc, serial uint64) {
+		marker := ""
+		if conc != serial {
+			marker = "  MISMATCH"
+			mismatches++
+		}
+		fmt.Printf("  %-22s %12d %12d%s\n", name, conc, serial, marker)
+	}
+	fmt.Printf("  %-22s %12s %12s\n", "aggregate", "concurrent", "serial")
+	row("reads", agg.Reads, serialStats.Reads)
+	row("writes", agg.Writes, serialStats.Writes)
+	row("counter-mode writes", agg.CounterModeWrites, serialStats.CounterModeWrites)
+	row("counterless writes", agg.CounterlessWrites, serialStats.CounterlessWrites)
+	row("mode switches", agg.ModeSwitches, serialSwitches)
+	row("DUEs", agg.DUEs, serialStats.DUEs)
+
+	plainDiffs := 0
+	for i := range resps {
+		if resps[i].Err != nil {
+			fmt.Fprintf(os.Stderr, "clbench: -concurrent: pool op %d: %v\n", i, resps[i].Err)
+			return 1
+		}
+		if serialPlain[i].ok && resps[i].Plain != serialPlain[i].b {
+			plainDiffs++
+		}
+	}
+	if plainDiffs > 0 {
+		fmt.Printf("  %d read(s) returned different plaintext than the serial engine\n", plainDiffs)
+		mismatches++
+	}
+	if mismatches > 0 {
+		fmt.Println("FAIL: concurrent execution diverged from the serial engine")
+		return 1
+	}
+	fmt.Println("ok: concurrent aggregates and plaintexts bit-identical to serial")
+	return 0
+}
+
+// cipherBlockOrZero records a serial read's plaintext (reads of the
+// trace are deterministic, so each index is set at most once).
+type cipherBlockOrZero struct {
+	ok bool
+	b  cipher.Block
+}

@@ -33,6 +33,7 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "per-op fault injection probability (0 = generator default)")
 	campaignFile := flag.String("campaign", "", "load a campaign spec from this JSON file (overrides the generator flags)")
 	repro := flag.String("repro", "", "replay one repro token instead of running a campaign")
+	concurrent := flag.Bool("concurrent", false, "run the concurrent differential campaign: race each program through the sharded mcpool engine, then verify the applied-op journals against serialized replays")
 	schemes := flag.Bool("schemes", false, "also sweep every registered timing scheme's Result invariants over the seeds")
 	metricsFile := flag.String("metrics", "", "write a Prometheus-text snapshot of the campaign counters to this file")
 	tokensFile := flag.String("tokens", "", "write minimized repro tokens (one per line) to this file on divergence")
@@ -40,6 +41,9 @@ func main() {
 
 	if *repro != "" {
 		os.Exit(replayToken(*repro))
+	}
+	if *concurrent {
+		os.Exit(concurrentCampaign(*seeds, *seedStart, *jobs, *metricsFile))
 	}
 
 	spec := check.DefaultCampaign(*seeds, *seedStart)
@@ -116,6 +120,36 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// concurrentCampaign runs the concurrent differential mode over the
+// seed range: every program races through a sharded mcpool with
+// multiple submitter goroutines, and each shard's applied-op journal
+// is replayed serially with the oracle in lockstep. Exit 1 on any
+// divergence.
+func concurrentCampaign(seeds int, seedStart int64, jobs int, metricsFile string) int {
+	pool := figures.NewRunner(true)
+	pool.Workers = jobs
+	reg := obs.NewRegistry()
+	report, err := check.RunConcurrentCampaign(seeds, seedStart, check.ConcurrentConfig{}, pool, reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clcheck: concurrent: %v\n", err)
+		return 1
+	}
+	fmt.Printf("concurrent campaign: %d programs, %d ops through the sharded pool\n",
+		report.Programs, report.Ops)
+	for _, f := range report.Failures {
+		fmt.Printf("seed %d: DIVERGED at op %d [%s]: %s\n", f.Seed, f.Div.OpIndex, f.Div.Kind, f.Div.Detail)
+	}
+	if metricsFile != "" {
+		writeMetrics(metricsFile, reg)
+	}
+	if !report.OK() {
+		fmt.Printf("FAIL: %d diverging seed(s)\n", len(report.Failures))
+		return 1
+	}
+	fmt.Println("ok: zero divergences between concurrent and serialized execution")
+	return 0
 }
 
 // replayToken parses and replays one repro token, reporting whether the

@@ -1,0 +1,329 @@
+// Command clserve runs the sharded concurrent engine (internal/mcpool)
+// as a standing service under synthetic load: N connection goroutines
+// issue reads and Auto-mode writes against disjoint block ranges while
+// a sampler records queue depths and the watermark degrades writebacks
+// under pressure — the paper's §IV-B bandwidth monitor observable as a
+// live system instead of a simulation.
+//
+// Usage:
+//
+//	clserve -conns 8 -duration 10s
+//	clserve -conns 16 -qps 50000 -duration 30s -csv queue-depth.csv
+//	clserve -addr :8080            # serve /metrics (Prometheus) and /metrics.json
+//	clserve -duration 0            # run until interrupted
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"counterlight/internal/core"
+	"counterlight/internal/mcpool"
+	"counterlight/internal/obs"
+)
+
+func main() {
+	conns := flag.Int("conns", 8, "concurrent connection goroutines")
+	qps := flag.Int("qps", 0, "total target request rate across all connections (0 = closed loop, as fast as the pool absorbs)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load (0 = until SIGINT/SIGTERM)")
+	shards := flag.Int("shards", 8, "pool shards")
+	queue := flag.Int("queue", 256, "per-shard queue depth")
+	batch := flag.Int("batch", 32, "per-lock-acquisition batch cap")
+	watermark := flag.Int("watermark", 0, "queue depth at which Auto writes degrade to counterless (0 = 3/4 of -queue, negative disables)")
+	blocks := flag.Int("blocks", 8192, "working-set size in 64-byte blocks, split across connections")
+	readFrac := flag.Float64("read-frac", 0.5, "fraction of requests that are reads")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	csvPath := flag.String("csv", "", "append 100ms queue-depth samples to this CSV file")
+	addr := flag.String("addr", "", "serve /metrics (Prometheus) and /metrics.json on this address while running")
+	flag.Parse()
+
+	if code := run(*conns, *qps, *duration, *shards, *queue, *batch, *watermark,
+		*blocks, *readFrac, *seed, *csvPath, *addr); code != 0 {
+		os.Exit(code)
+	}
+}
+
+func run(conns, qps int, duration time.Duration, shards, queue, batch, watermark,
+	blocks int, readFrac float64, seed int64, csvPath, addr string) int {
+	if conns <= 0 || blocks < conns {
+		fmt.Fprintf(os.Stderr, "clserve: need at least one connection and one block per connection\n")
+		return 2
+	}
+	opts := core.DefaultEngineOptions()
+	if need := uint64(blocks) * 64; need > opts.MemSize {
+		opts.MemSize = need
+	}
+	pool, err := mcpool.New(mcpool.Config{
+		Shards:     shards,
+		QueueDepth: queue,
+		BatchMax:   batch,
+		Watermark:  watermark,
+		Engine:     opts,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clserve: %v\n", err)
+		return 1
+	}
+	reg := obs.NewRegistry()
+	pool.RegisterMetrics(reg)
+	latency, err := obs.NewHistogram(
+		1_000, 2_000, 5_000, 10_000, 20_000, 50_000, // ns
+		100_000, 200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clserve: %v\n", err)
+		return 1
+	}
+	reg.RegisterHistogram("clserve_request_latency_ns", latency)
+
+	ctx := context.Background()
+	if duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, duration)
+		defer cancel()
+	} else {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		fmt.Fprintln(os.Stderr, "clserve: running until interrupted (ctrl-c)")
+	}
+
+	if addr != "" {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clserve: -addr: %v\n", err)
+			return 1
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			reg.Snapshot().WritePrometheus(w) //nolint:errcheck // best-effort exposition
+		})
+		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			reg.Snapshot().WriteJSON(w) //nolint:errcheck // best-effort exposition
+		})
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln) //nolint:errcheck // shut down below
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "clserve: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	var sampler *csvSampler
+	if csvPath != "" {
+		sampler, err = newCSVSampler(csvPath, pool)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clserve: -csv: %v\n", err)
+			return 1
+		}
+		sampler.start()
+	}
+
+	// Each connection owns a contiguous block range: single writer per
+	// block, so per-address ordering needs no cross-connection locks —
+	// the same discipline the per-bank queues of a real MC enforce.
+	var wg sync.WaitGroup
+	errs := make([]error, conns)
+	start := time.Now()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errs[c] = connection(ctx, pool, latency, connConfig{
+				id:       c,
+				lo:       uint64(c*blocks/conns) * 64,
+				hi:       uint64((c+1)*blocks/conns) * 64,
+				readFrac: readFrac,
+				seed:     seed + int64(c),
+				interval: paceInterval(qps, conns),
+			})
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	pool.Flush()
+	if sampler != nil {
+		sampler.stop()
+	}
+	agg := pool.Aggregate()
+	pool.Close()
+
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clserve: %v\n", err)
+			return 1
+		}
+	}
+	degradedPct := 0.0
+	if agg.Writes > 0 {
+		degradedPct = 100 * float64(agg.DegradedWrites) / float64(agg.Writes)
+	}
+	fmt.Printf("clserve: %d conns, %d shards, %.1fs: %d ops (%.1f kops/s)\n",
+		conns, shards, elapsed.Seconds(), agg.Completed, float64(agg.Completed)/elapsed.Seconds()/1e3)
+	fmt.Printf("  reads=%d writes=%d (counter=%d counterless=%d, %.1f%% degraded by watermark %d)\n",
+		agg.Reads, agg.Writes, agg.CounterModeWrites, agg.CounterlessWrites, degradedPct, pool.Watermark())
+	fmt.Printf("  mode-switches=%d batches=%d contention=%d max-queue-depth=%d\n",
+		agg.ModeSwitches, agg.Batches, agg.Contention, agg.MaxQueueDepth)
+	fmt.Printf("  latency p50≤%s p99≤%s\n", quantileEdge(latency, 0.50), quantileEdge(latency, 0.99))
+	return 0
+}
+
+// paceInterval converts a total qps target into one connection's
+// inter-request interval (0 = closed loop).
+func paceInterval(qps, conns int) time.Duration {
+	if qps <= 0 {
+		return 0
+	}
+	per := qps / conns
+	if per <= 0 {
+		per = 1
+	}
+	return time.Second / time.Duration(per)
+}
+
+type connConfig struct {
+	id       int
+	lo, hi   uint64 // owned address range [lo, hi), block-aligned
+	readFrac float64
+	seed     int64
+	interval time.Duration // 0 = closed loop
+}
+
+// connection drives one closed-loop (or paced) request stream over
+// its own block range until the context ends.
+func connection(ctx context.Context, pool *mcpool.Pool, latency *obs.Histogram, cfg connConfig) error {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	nblocks := int((cfg.hi - cfg.lo) / 64)
+	if nblocks <= 0 {
+		return fmt.Errorf("connection %d owns no blocks", cfg.id)
+	}
+	written := make([]uint64, 0, nblocks)
+	var ticker *time.Ticker
+	if cfg.interval > 0 {
+		ticker = time.NewTicker(cfg.interval)
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		default:
+		}
+		if ticker != nil {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-ticker.C:
+			}
+		}
+		var req mcpool.Request
+		if len(written) > 0 && rng.Float64() < cfg.readFrac {
+			req = mcpool.Request{Kind: mcpool.OpRead, Addr: written[rng.Intn(len(written))]}
+		} else {
+			addr := cfg.lo + uint64(rng.Intn(nblocks))*64
+			req = mcpool.Request{Kind: mcpool.OpWrite, Addr: addr, Auto: true}
+			rng.Read(req.Data[:])
+			written = append(written, addr)
+		}
+		start := time.Now()
+		fut, err := pool.Submit(req)
+		if err != nil {
+			return fmt.Errorf("connection %d: %w", cfg.id, err)
+		}
+		resp := fut.Wait()
+		latency.Add(time.Since(start).Nanoseconds())
+		if resp.Err != nil {
+			return fmt.Errorf("connection %d: %w", cfg.id, resp.Err)
+		}
+	}
+}
+
+// quantileEdge reports the histogram bin upper edge covering quantile
+// q — a conservative "p50 ≤ X" reading, which is all a fixed-bin
+// histogram can honestly claim.
+func quantileEdge(h *obs.Histogram, q float64) time.Duration {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	edges := h.Edges()
+	for i, c := range h.Bins() {
+		cum += c
+		if cum > target {
+			if i < len(edges) {
+				return time.Duration(edges[i])
+			}
+			return time.Duration(edges[len(edges)-1]) // overflow bin
+		}
+	}
+	return time.Duration(edges[len(edges)-1])
+}
+
+// csvSampler appends one queue-depth sample line every 100ms.
+type csvSampler struct {
+	f    *os.File
+	pool *mcpool.Pool
+	t0   time.Time
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newCSVSampler(path string, pool *mcpool.Pool) (*csvSampler, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintln(f, "elapsed_ms,total_queue_depth,max_shard_depth,submitted,completed,degraded_writes,batches"); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &csvSampler{f: f, pool: pool, t0: time.Now(), done: make(chan struct{})}, nil
+}
+
+func (s *csvSampler) start() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ticker := time.NewTicker(100 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.done:
+				s.sample() // final row so short runs still record data
+				return
+			case <-ticker.C:
+				s.sample()
+			}
+		}
+	}()
+}
+
+func (s *csvSampler) sample() {
+	sm := s.pool.Sample()
+	maxDepth := 0
+	for _, d := range sm.QueueDepths {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	fmt.Fprintf(s.f, "%d,%d,%d,%d,%d,%d,%d\n",
+		time.Since(s.t0).Milliseconds(), sm.TotalDepth, maxDepth,
+		sm.Submitted, sm.Completed, sm.Degraded, sm.Batches)
+}
+
+func (s *csvSampler) stop() {
+	close(s.done)
+	s.wg.Wait()
+	s.f.Close()
+}

@@ -25,12 +25,17 @@ func (d *Divergence) String() string {
 }
 
 // ReadOutcome is the externally visible result of one OpRead — the
-// tuple that must be bit-identical across a differential group.
+// tuple that must be bit-identical across a differential group. Info
+// carries the full service detail (memo hit, correction, bad chip);
+// cross-variant comparison ignores it (hit rates legitimately differ
+// across memo sizes) but the concurrent differential mode compares it
+// bit-for-bit against the serialized replay.
 type ReadOutcome struct {
 	OpIndex int
 	OK      bool
 	Plain   cipher.Block
 	Mode    epoch.Mode
+	Info    core.ReadInfo
 }
 
 // RunResult is one program replayed on one variant. Div is nil when
@@ -51,6 +56,22 @@ type checker struct {
 	limit  uint32 // effective counter limit
 }
 
+// newCheckerFor builds a fresh checker (engine + oracle) for one
+// variant — the shared setup of Replay and the concurrent journal
+// replay in concurrent.go.
+func newCheckerFor(v Variant, eccOff bool) (*checker, error) {
+	opts := v.Options(eccOff)
+	e, err := core.NewEngine(opts)
+	if err != nil {
+		return nil, fmt.Errorf("check: variant %s: %w", v.Name, err)
+	}
+	limit := opts.CounterLimit
+	if limit == 0 {
+		limit = ctrblock.CounterMax
+	}
+	return &checker{e: e, v: v, oracle: NewOracle(), limit: limit}, nil
+}
+
 // Replay runs the repro's program against its variant's engine,
 // checking every operation against the oracle. It stops at the first
 // divergence (the shrinker depends on that). The returned error is a
@@ -61,16 +82,10 @@ func Replay(r Repro) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
-	opts := v.Options(r.ECCOff)
-	e, err := core.NewEngine(opts)
+	c, err := newCheckerFor(v, r.ECCOff)
 	if err != nil {
-		return RunResult{}, fmt.Errorf("check: variant %s: %w", v.Name, err)
+		return RunResult{}, err
 	}
-	limit := opts.CounterLimit
-	if limit == 0 {
-		limit = ctrblock.CounterMax
-	}
-	c := &checker{e: e, v: v, oracle: NewOracle(), limit: limit}
 	res := RunResult{Variant: v.Name}
 	for i, op := range r.Program.Ops {
 		var div *Divergence
@@ -91,7 +106,7 @@ func Replay(r Repro) (RunResult, error) {
 			break
 		}
 	}
-	res.Stats = e.Stats()
+	res.Stats = c.e.Stats()
 	return res, nil
 }
 
@@ -129,14 +144,15 @@ func (c *checker) write(op Op) *Divergence {
 				return div("mode-mismatch", "counter-mode write stored counterless without permanent flag at %#x", addr)
 			}
 			if !prevPermCL {
-				// Fresh saturation claim: plausible only if the next
-				// counter value genuinely exceeded the limit. next is
-				// max(W, old+1); W only grows, so checking the current
-				// W is a sound plausibility bound.
-				if uint64(prevCtr)+1 <= uint64(c.limit) && uint64(c.e.Memo().WriteValue()) <= uint64(c.limit) {
+				// Fresh saturation claim: legal only when the block's
+				// own counter ran out of headroom. The engine falls
+				// back from an over-limit W to old+1, so saturation is
+				// strictly per-block (§IV-C): old+1 must exceed the
+				// limit, i.e. the counter was already sitting on it.
+				if uint64(prevCtr)+1 <= uint64(c.limit) {
 					return div("spurious-saturation",
-						"block %#x saturated with ctr=%d, W=%d, limit=%d",
-						addr, prevCtr, c.e.Memo().WriteValue(), c.limit)
+						"block %#x saturated with ctr=%d, limit=%d — the counter had headroom",
+						addr, prevCtr, c.limit)
 				}
 			}
 		}
@@ -197,7 +213,7 @@ func (c *checker) read(op Op) (ReadOutcome, *Divergence) {
 	addr := uint64(op.Block) * 64
 	b := c.oracle.block(op.Block)
 	got, info, err := c.e.Read(addr)
-	out := ReadOutcome{OK: err == nil, Plain: got, Mode: info.Mode}
+	out := ReadOutcome{OK: err == nil, Plain: got, Mode: info.Mode, Info: info}
 
 	if !b.written {
 		if err == nil {

@@ -281,6 +281,15 @@ func (e *Engine) WriteAs(vm int, addr uint64, plain cipher.Block, mode epoch.Mod
 		}
 		old := e.ctrs.Counter(addr)
 		next := e.memo.NextWriteCounter(old)
+		if next > e.opts.CounterLimit && old < e.opts.CounterLimit {
+			// The shared write value W outran the limit while this
+			// block's own counter still has headroom. Saturation is a
+			// per-block condition (§IV-C), so take the unmemoized
+			// plain increment instead of permanently degrading the
+			// block to counterless — otherwise one hot W would
+			// spuriously saturate every block it touches.
+			next = old + 1
+		}
 		if next > e.opts.CounterLimit {
 			// Counter saturated: this block is counterless forever
 			// (until "reboot"; §IV-C).

@@ -1,0 +1,97 @@
+package ctrblock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Saturation-audit invariants for the split-counter overflow path
+// (the satellite audit of the lost-update window): under any
+// serialized Increment sequence, the incremented block's Full value
+// advances by exactly one, no block's Full value ever regresses, and
+// the reencrypt signal fires exactly when non-incremented blocks'
+// values jump (the re-encryption obligation). A torn decode/writeback
+// interleaving breaks the first two — the test pins the contract the
+// shard lock in internal/mcpool exists to preserve.
+func TestSplitIncrementFullMonotonic(t *testing.T) {
+	var s SplitBlock
+	rng := rand.New(rand.NewSource(7))
+
+	var before [MinorsPerBlock]uint64
+	for step := 0; step < 20_000; step++ {
+		for i := range before {
+			before[i] = s.Full(i)
+		}
+		i := rng.Intn(MinorsPerBlock)
+		reencrypt, err := s.Increment(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if got := s.Full(i); got != before[i]+1 {
+			t.Fatalf("step %d: Full(%d) %d -> %d, want exactly +1", step, i, before[i], got)
+		}
+		if reencrypt {
+			// Overflow: every minor reset, major advanced by one.
+			for j := range s.Minors {
+				if s.Minors[j] != 0 {
+					t.Fatalf("step %d: minor %d = %d after overflow, want 0", step, j, s.Minors[j])
+				}
+			}
+			for j := range before {
+				if j == i {
+					continue
+				}
+				if got := s.Full(j); got <= before[j] {
+					t.Fatalf("step %d: bystander %d regressed %d -> %d on overflow", step, j, before[j], got)
+				}
+			}
+		} else {
+			// No overflow: every other block's value is untouched —
+			// the ciphertexts stored under those counters stay valid.
+			for j := range before {
+				if j == i {
+					continue
+				}
+				if got := s.Full(j); got != before[j] {
+					t.Fatalf("step %d: increment of %d moved bystander %d: %d -> %d", step, i, j, before[j], got)
+				}
+			}
+		}
+	}
+	if s.Major == 0 {
+		t.Fatal("sequence never overflowed a minor; the invariants above were not exercised")
+	}
+}
+
+// TestSplitLostUpdateWindow demonstrates concretely why Increment
+// needs one exclusion scope around decode and writeback: replaying a
+// stale decoded copy over a newer one silently discards increments
+// and regresses full counter values (nonce reuse). The engine-side
+// fix routes every counter block through a single shard so this
+// interleaving cannot occur; the test documents the failure mode the
+// routing prevents.
+func TestSplitLostUpdateWindow(t *testing.T) {
+	var stored SplitBlock
+	for i := 0; i < 3; i++ {
+		if _, err := stored.Increment(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Writer A decodes (snapshot), writer B increments and writes
+	// back, then A increments its stale copy and writes back last.
+	snapA := DecodeSplit(stored.Encode())
+	if _, err := stored.Increment(1); err != nil { // B's update
+		t.Fatal(err)
+	}
+	if _, err := snapA.Increment(0); err != nil {
+		t.Fatal(err)
+	}
+	lost := DecodeSplit(snapA.Encode()) // A's stale writeback wins
+
+	if lost.Full(1) >= stored.Full(1) {
+		t.Fatalf("expected the torn interleaving to lose block 1's update (got %d, serialized %d) — if this no longer reproduces, the SplitBlock contract changed and the mcpool sharding rationale needs revisiting",
+			lost.Full(1), stored.Full(1))
+	}
+}

@@ -52,6 +52,14 @@ func (s *SplitBlock) Full(i int) uint64 {
 // the major increments, every minor resets to zero, and reencrypt
 // reports that all 128 data blocks must be re-encrypted with their new
 // full counter values.
+//
+// Concurrency contract: the overflow path is a read-modify-write over
+// the WHOLE block (major + all 128 minors), so decode, Increment, and
+// writeback must happen under one exclusion scope per counter block.
+// Interleaving two Increments between another's decode and writeback
+// loses updates and can regress a block's Full value — internal/mcpool
+// provides that scope by pinning each counter block's address range to
+// one shard and applying ops under the shard lock.
 func (s *SplitBlock) Increment(i int) (reencrypt bool, err error) {
 	if i < 0 || i >= MinorsPerBlock {
 		return false, fmt.Errorf("ctrblock: minor index %d out of range", i)

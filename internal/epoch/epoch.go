@@ -3,16 +3,18 @@
 //
 // The memory controller counts all memory accesses (LLC misses,
 // writebacks, and counter accesses) in fixed 100 µs epochs. If an
-// epoch's access count exceeded the threshold — a fraction (default
+// epoch's access count reached the threshold — a fraction (default
 // 60%) of the maximum number of accesses the channel could serve in an
 // epoch — the *next* epoch performs all LLC writebacks in counterless
 // mode (no counter or integrity-tree traffic). Otherwise the next
 // epoch starts in counter mode and falls back to counterless mid-epoch
-// the moment its own access count crosses the same threshold.
+// the moment its own access count reaches the same threshold.
 package epoch
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"counterlight/internal/obs"
 )
@@ -93,7 +95,21 @@ func NewMonitor(epochLen, accessTime int64, thresholdFraction float64) (*Monitor
 	if maxAcc == 0 {
 		return nil, fmt.Errorf("epoch: epoch shorter than one access")
 	}
-	thr := uint64(float64(maxAcc) * thresholdFraction)
+	// "High utilization" is accesses/maxAcc ≥ thresholdFraction
+	// (§IV-B); the smallest access count satisfying it is
+	// ceil(maxAcc · fraction). Compute that exactly in integers: the
+	// fraction is quantized to parts-per-million (exact for the
+	// paper's 0.10/0.60/0.80 sweep) and the product kept in 128 bits,
+	// so float truncation can neither shift the knee low nor let an
+	// epoch sitting exactly on it stay in counter mode.
+	const ppm = 1_000_000
+	num := uint64(math.Round(thresholdFraction * ppm))
+	if num == 0 {
+		num = 1
+	}
+	hi, lo := bits.Mul64(maxAcc, num)
+	lo, carry := bits.Add64(lo, ppm-1, 0)
+	thr, _ := bits.Div64(hi+carry, lo, ppm)
 	if thr == 0 {
 		thr = 1
 	}
@@ -111,9 +127,9 @@ func (m *Monitor) Record(now int64) {
 	m.roll(now)
 	m.accesses++
 	m.totalAccesses++
-	// Mid-epoch fallback: a counter-mode epoch that crosses the
+	// Mid-epoch fallback: a counter-mode epoch that reaches the
 	// threshold switches to counterless for the remainder (§IV-B).
-	if m.mode == CounterMode && m.accesses > m.threshold {
+	if m.mode == CounterMode && m.accesses >= m.threshold {
 		m.mode = Counterless
 		m.midEpochSwitches.Inc()
 		m.tracer.Emit(now, obs.PhaseInstant, obs.CatEpoch, "mid_epoch_fallback",
@@ -143,7 +159,7 @@ func (m *Monitor) roll(now int64) {
 	for now-m.epochStart >= m.epochLen {
 		// Close the current epoch: its access count decides the next
 		// epoch's starting mode.
-		if m.accesses > m.threshold {
+		if m.accesses >= m.threshold {
 			m.nextFromStart = Counterless
 		} else {
 			m.nextFromStart = CounterMode
@@ -192,7 +208,9 @@ func (m *Monitor) Utilization() float64 {
 	return float64(m.busyAccumulated) / float64(m.capacityAccumulated)
 }
 
-// Threshold returns the per-epoch access threshold.
+// Threshold returns the per-epoch access count at which high
+// utilization begins (inclusive: an epoch with exactly this many
+// accesses is busy).
 func (m *Monitor) Threshold() uint64 { return m.threshold }
 
 // MaxAccesses returns the per-epoch channel capacity in accesses.

@@ -1,0 +1,540 @@
+// Package mcpool is the thread-safe, bank-sharded concurrent memory
+// controller: it runs one core.Engine per shard behind a lock-striped
+// shard array and a batching request frontend, turning the strictly
+// single-threaded functional engine into a service that absorbs
+// genuinely concurrent traffic.
+//
+// Sharding follows the DRAM bank-group interleave (internal/dram maps
+// consecutive blocks to consecutive banks): shard = block index mod
+// shard count, so every address — data block, its counter block, and
+// its tree path — is owned by exactly one shard. That ownership is
+// what makes the striping sound: a split-counter overflow rewrites a
+// whole counter block (see ctrblock.SplitBlock.Increment's contract),
+// and routing all of a counter block's data blocks through one shard
+// serializes the read-modify-write that would otherwise lose updates.
+// Each shard also owns a private RMCC memoization table, so the pool
+// as a whole is a sharded LRU over counter-AES results.
+//
+// The frontend queues requests per shard in bounded channels —
+// Submit blocks when a shard's queue is full (backpressure) — and a
+// per-shard worker drains them in FIFO batches, applying each batch
+// under one acquisition of the shard lock. Writebacks submitted in
+// Auto mode implement the software analogue of the paper's §IV-B
+// bandwidth monitor: when the shard's queue depth sits at or above
+// the configured watermark at apply time, the writeback gracefully
+// degrades to counterless mode, shedding counter and integrity-tree
+// work exactly when the controller is saturated.
+package mcpool
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"counterlight/internal/cipher"
+	"counterlight/internal/core"
+	"counterlight/internal/epoch"
+	"counterlight/internal/obs"
+)
+
+// OpKind selects what a Request does.
+type OpKind uint8
+
+const (
+	// OpRead fetches, verifies, and decrypts a block.
+	OpRead OpKind = iota
+	// OpWrite encrypts and stores a block.
+	OpWrite
+	// OpFault XORs a pattern into one chip of a stored block (the
+	// differential harness's fault channel).
+	OpFault
+
+	// opBarrier is Flush's internal fence; it carries no work and is
+	// never journaled.
+	opBarrier OpKind = 255
+)
+
+// Request is one operation submitted to the pool.
+type Request struct {
+	Kind OpKind
+	Addr uint64 // block-aligned byte address
+	VM   int    // write: VM whose key a counterless write uses
+
+	// Mode is the writeback mode an explicit write requests. When
+	// Auto is set the pool decides instead: counter mode normally,
+	// counterless when the owning shard's queue depth has reached the
+	// watermark (§IV-B analogue). Auto-mode results depend on load and
+	// are therefore not deterministic across runs; explicit modes are.
+	Mode epoch.Mode
+	Auto bool
+
+	Data cipher.Block // write payload
+
+	Chip    int    // fault: target chip
+	Pattern uint64 // fault: XOR pattern
+
+	// Tag is carried verbatim into the journal entry, letting callers
+	// (internal/check) map applied operations back to program indices.
+	Tag any
+}
+
+// Response is the outcome of one applied Request.
+type Response struct {
+	Plain    cipher.Block  // read: decrypted data
+	Info     core.ReadInfo // read: service detail
+	Mode     epoch.Mode    // write: mode actually stored (after Auto and §IV-C forcing)
+	Degraded bool          // write: Auto demoted to counterless by the watermark
+	Err      error
+}
+
+// Future is the pending result of a Submit. Wait blocks until the
+// owning shard applies the request; it is safe to call repeatedly and
+// from multiple goroutines.
+type Future struct {
+	ch   chan Response
+	once sync.Once
+	resp Response
+}
+
+func newFuture() *Future { return &Future{ch: make(chan Response, 1)} }
+
+// Wait returns the response, blocking until the request is applied.
+func (f *Future) Wait() Response {
+	f.once.Do(func() { f.resp = <-f.ch })
+	return f.resp
+}
+
+// Applied is one journal entry: the request as actually applied (Auto
+// resolved to a concrete mode) and its response, in the shard's apply
+// order. Replaying a shard's journal through a fresh serial engine
+// reproduces the shard engine's state and outputs bit for bit.
+type Applied struct {
+	Seq  uint64 // 1-based per-shard apply sequence number
+	Req  Request
+	Resp Response
+}
+
+// Config sizes the pool.
+type Config struct {
+	// Shards is the number of engine shards (default 8). Shard
+	// routing is block-interleaved: shard = (Addr/64) mod Shards.
+	Shards int
+	// QueueDepth bounds each shard's request queue (default 256);
+	// Submit blocks — and TrySubmit refuses — beyond it.
+	QueueDepth int
+	// BatchMax caps how many queued requests one shard-lock
+	// acquisition applies (default 32).
+	BatchMax int
+	// Watermark is the queue depth at which Auto writebacks degrade
+	// to counterless (default 3/4 of QueueDepth; negative disables
+	// degradation entirely).
+	Watermark int
+	// Journal records every applied op per shard for serialized
+	// replay (the concurrent differential harness). Off by default:
+	// journals grow with traffic.
+	Journal bool
+	// Engine configures each shard's core.Engine. The zero value
+	// means core.DefaultEngineOptions(). Every shard engine spans the
+	// full address space; routing keeps their written sets disjoint.
+	Engine core.EngineOptions
+}
+
+// Pool is the sharded concurrent engine.
+type Pool struct {
+	cfg    Config
+	shards []*shard
+
+	mu     sync.RWMutex // guards closed vs. in-flight Submits
+	closed bool
+	wg     sync.WaitGroup
+
+	submitted obs.Counter
+	completed obs.Counter
+	degraded  obs.Counter
+	maxDepth  atomic.Int64
+	depthHWM  obs.Gauge // registry view of maxDepth
+}
+
+type shard struct {
+	id  int
+	q   chan submission
+	mu  sync.Mutex
+	eng *core.Engine
+
+	// lastMode tracks the mode each block was last stored in, to
+	// count §IV-B-style mode switches under concurrent traffic.
+	lastMode map[uint64]epoch.Mode
+
+	journal []Applied
+	seq     uint64
+
+	depth        obs.Gauge
+	batches      obs.Counter
+	contention   obs.Counter
+	modeSwitches obs.Counter
+	batchSize    *obs.Histogram
+}
+
+type submission struct {
+	req Request
+	fut *Future
+}
+
+// New builds and starts a pool; Close stops it.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 32
+	}
+	if cfg.BatchMax > cfg.QueueDepth {
+		cfg.BatchMax = cfg.QueueDepth
+	}
+	if cfg.Watermark == 0 {
+		cfg.Watermark = cfg.QueueDepth * 3 / 4
+		if cfg.Watermark == 0 {
+			cfg.Watermark = 1
+		}
+	}
+	if cfg.Engine == (core.EngineOptions{}) {
+		cfg.Engine = core.DefaultEngineOptions()
+	}
+	p := &Pool{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range p.shards {
+		eng, err := core.NewEngine(cfg.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("mcpool: shard %d: %w", i, err)
+		}
+		batchSize, err := obs.NewHistogram(2, 4, 8, 16, 32, 64)
+		if err != nil {
+			return nil, err
+		}
+		p.shards[i] = &shard{
+			id:        i,
+			q:         make(chan submission, cfg.QueueDepth),
+			eng:       eng,
+			lastMode:  make(map[uint64]epoch.Mode),
+			batchSize: batchSize,
+		}
+		p.wg.Add(1)
+		go p.worker(p.shards[i])
+	}
+	return p, nil
+}
+
+// NumShards returns the shard count.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// ShardOf returns the shard that owns addr. The mapping is pure —
+// the same address always routes to the same shard — and follows the
+// DRAM bank interleave: consecutive blocks round-robin the shards.
+func (p *Pool) ShardOf(addr uint64) int {
+	return int((addr >> 6) % uint64(len(p.shards)))
+}
+
+// Submit enqueues one request on its shard, blocking while the
+// shard's bounded queue is full (backpressure). It fails only when
+// the pool is closed.
+func (p *Pool) Submit(req Request) (*Future, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, fmt.Errorf("mcpool: pool is closed")
+	}
+	fut := newFuture()
+	s := p.shards[p.ShardOf(req.Addr)]
+	p.submitted.Inc()
+	s.q <- submission{req: req, fut: fut}
+	p.noteDepth(int64(len(s.q)))
+	return fut, nil
+}
+
+// TrySubmit is Submit without the blocking: ok is false when the
+// shard's queue is full (or the pool is closed) and the request was
+// not enqueued.
+func (p *Pool) TrySubmit(req Request) (*Future, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, false
+	}
+	fut := newFuture()
+	s := p.shards[p.ShardOf(req.Addr)]
+	select {
+	case s.q <- submission{req: req, fut: fut}:
+		p.submitted.Inc()
+		p.noteDepth(int64(len(s.q)))
+		return fut, true
+	default:
+		return nil, false
+	}
+}
+
+// SubmitBatch enqueues the requests in order. Requests routed to the
+// same shard keep their slice order, so a single caller's per-address
+// program order is preserved end to end.
+func (p *Pool) SubmitBatch(reqs []Request) ([]*Future, error) {
+	futs := make([]*Future, len(reqs))
+	for i, req := range reqs {
+		fut, err := p.Submit(req)
+		if err != nil {
+			return futs[:i], err
+		}
+		futs[i] = fut
+	}
+	return futs, nil
+}
+
+// noteDepth maintains the queue-depth high-water mark.
+func (p *Pool) noteDepth(d int64) {
+	for {
+		cur := p.maxDepth.Load()
+		if d <= cur {
+			return
+		}
+		if p.maxDepth.CompareAndSwap(cur, d) {
+			p.depthHWM.Set(d)
+			return
+		}
+	}
+}
+
+// Flush blocks until every request submitted before the call has been
+// applied (a FIFO fence per shard). Requests submitted concurrently
+// with Flush may or may not be covered.
+func (p *Pool) Flush() {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return
+	}
+	futs := make([]*Future, 0, len(p.shards))
+	for _, s := range p.shards {
+		fut := newFuture()
+		s.q <- submission{req: Request{Kind: opBarrier}, fut: fut}
+		futs = append(futs, fut)
+	}
+	p.mu.RUnlock()
+	for _, f := range futs {
+		f.Wait()
+	}
+}
+
+// Close drains the queues, stops the shard workers, and rejects
+// further Submits. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, s := range p.shards {
+		close(s.q)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// worker drains one shard's queue in FIFO batches, applying each
+// batch under a single acquisition of the shard lock.
+func (p *Pool) worker(s *shard) {
+	defer p.wg.Done()
+	for sub := range s.q {
+		batch := make([]submission, 1, p.cfg.BatchMax)
+		batch[0] = sub
+	drain:
+		for len(batch) < p.cfg.BatchMax {
+			select {
+			case more, ok := <-s.q:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		s.depth.Set(int64(len(s.q)))
+		if !s.mu.TryLock() {
+			s.contention.Inc()
+			s.mu.Lock()
+		}
+		resps := make([]Response, len(batch))
+		work := 0 // non-barrier requests; Flush fences don't count
+		for i := range batch {
+			resps[i] = p.apply(s, batch[i].req)
+			if batch[i].req.Kind != opBarrier {
+				work++
+			}
+		}
+		s.mu.Unlock()
+		for i := range batch {
+			batch[i].fut.ch <- resps[i]
+		}
+		if work > 0 {
+			s.batches.Inc()
+			s.batchSize.Add(int64(work))
+			p.completed.Add(uint64(work))
+		}
+	}
+}
+
+// apply executes one request against the shard engine. Caller holds
+// the shard lock.
+func (p *Pool) apply(s *shard, req Request) Response {
+	var resp Response
+	journal := p.cfg.Journal
+	switch req.Kind {
+	case OpRead:
+		plain, info, err := s.eng.Read(req.Addr)
+		resp = Response{Plain: plain, Info: info, Mode: info.Mode, Err: err}
+	case OpWrite:
+		mode := req.Mode
+		if req.Auto {
+			// The §IV-B monitor analogue: a backlog at or above the
+			// watermark means the controller is saturated — shed the
+			// counter and tree traffic for this writeback.
+			mode = epoch.CounterMode
+			if p.cfg.Watermark >= 0 && len(s.q) >= p.cfg.Watermark {
+				mode = epoch.Counterless
+				resp.Degraded = true
+				p.degraded.Inc()
+			}
+			req.Auto = false
+			req.Mode = mode // journal the resolved mode, not Auto
+		}
+		err := s.eng.WriteAs(req.VM, req.Addr, req.Data, mode)
+		applied := mode
+		if err == nil && s.eng.IsPermanentCounterless(req.Addr) {
+			applied = epoch.Counterless // §IV-C forced the block
+		}
+		resp.Mode = applied
+		resp.Err = err
+		if err == nil {
+			if last, ok := s.lastMode[req.Addr]; ok && last != applied {
+				s.modeSwitches.Inc()
+			}
+			s.lastMode[req.Addr] = applied
+		}
+	case OpFault:
+		resp = Response{Err: s.eng.InjectFault(req.Addr, req.Chip, req.Pattern)}
+	case opBarrier:
+		journal = false
+	default:
+		resp = Response{Err: fmt.Errorf("mcpool: unknown op kind %d", req.Kind)}
+	}
+	if journal {
+		s.seq++
+		s.journal = append(s.journal, Applied{Seq: s.seq, Req: req, Resp: resp})
+	}
+	return resp
+}
+
+// JournalOf returns a copy of shard i's applied-op journal (empty
+// unless Config.Journal was set).
+func (p *Pool) JournalOf(i int) []Applied {
+	s := p.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Applied(nil), s.journal...)
+}
+
+// ShardStats returns shard i's engine counters.
+func (p *Pool) ShardStats(i int) core.EngineStats {
+	s := p.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Stats()
+}
+
+// Aggregate sums the pool's counters: the shard engines' EngineStats
+// plus the frontend's own accounting.
+type Aggregate struct {
+	core.EngineStats
+	ModeSwitches   uint64 // per-block stored-mode transitions
+	DegradedWrites uint64 // Auto writes demoted by the watermark
+	Submitted      uint64
+	Completed      uint64
+	Batches        uint64
+	Contention     uint64 // shard-lock acquisitions that had to wait
+	MaxQueueDepth  int64  // high-water mark across all shard queues
+}
+
+// Aggregate snapshots the pool-wide totals.
+func (p *Pool) Aggregate() Aggregate {
+	var a Aggregate
+	for i, s := range p.shards {
+		st := p.ShardStats(i)
+		a.Reads += st.Reads
+		a.Writes += st.Writes
+		a.CounterModeWrites += st.CounterModeWrites
+		a.CounterlessWrites += st.CounterlessWrites
+		a.MemoHits += st.MemoHits
+		a.MemoMisses += st.MemoMisses
+		a.Corrections += st.Corrections
+		a.EntropyResolved += st.EntropyResolved
+		a.DUEs += st.DUEs
+		a.MACFailures += st.MACFailures
+		a.ModeSwitches += s.modeSwitches.Value()
+		a.Batches += s.batches.Value()
+		a.Contention += s.contention.Value()
+	}
+	a.DegradedWrites = p.degraded.Value()
+	a.Submitted = p.submitted.Value()
+	a.Completed = p.completed.Value()
+	a.MaxQueueDepth = p.maxDepth.Load()
+	return a
+}
+
+// Sample is an instantaneous load reading for telemetry timelines.
+type Sample struct {
+	QueueDepths []int // per-shard instantaneous queue depth
+	TotalDepth  int
+	Submitted   uint64
+	Completed   uint64
+	Degraded    uint64
+	Batches     uint64
+}
+
+// Sample reads the pool's load without locking the shards.
+func (p *Pool) Sample() Sample {
+	s := Sample{QueueDepths: make([]int, len(p.shards))}
+	for i, sh := range p.shards {
+		d := len(sh.q)
+		s.QueueDepths[i] = d
+		s.TotalDepth += d
+		s.Batches += sh.batches.Value()
+	}
+	s.Submitted = p.submitted.Value()
+	s.Completed = p.completed.Value()
+	s.Degraded = p.degraded.Value()
+	return s
+}
+
+// Watermark returns the effective degradation watermark (negative
+// when disabled).
+func (p *Pool) Watermark() int { return p.cfg.Watermark }
+
+// RegisterMetrics exposes the pool's frontend counters and every
+// shard's engine counters (shard="N"-labelled) through a registry.
+func (p *Pool) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.RegisterCounter("mcpool_submitted_total", &p.submitted, labels...)
+	reg.RegisterCounter("mcpool_completed_total", &p.completed, labels...)
+	reg.RegisterCounter("mcpool_degraded_writes_total", &p.degraded, labels...)
+	reg.RegisterGauge("mcpool_queue_depth_hwm", &p.depthHWM, labels...)
+	for _, s := range p.shards {
+		ls := append(append([]obs.Label(nil), labels...), obs.L("shard", strconv.Itoa(s.id)))
+		reg.RegisterGauge("mcpool_shard_queue_depth", &s.depth, ls...)
+		reg.RegisterCounter("mcpool_shard_batches_total", &s.batches, ls...)
+		reg.RegisterCounter("mcpool_shard_contention_total", &s.contention, ls...)
+		reg.RegisterCounter("mcpool_shard_mode_switches_total", &s.modeSwitches, ls...)
+		reg.RegisterHistogram("mcpool_shard_batch_size", s.batchSize, ls...)
+		s.eng.RegisterMetrics(reg, ls...)
+	}
+}

@@ -22,6 +22,8 @@
 package memoize
 
 import (
+	"sync/atomic"
+
 	"counterlight/internal/crypto/mix"
 	"counterlight/internal/obs"
 )
@@ -50,6 +52,12 @@ type Table struct {
 	writesInEpoch int
 
 	hits, misses obs.Counter
+	// lookups packs (hits << 32 | misses) in one word so HitRate can
+	// snapshot both sides with a single atomic load: two separate
+	// loads can tear across a concurrent lookup or ResetStats and
+	// report a ratio no real instant ever had. Each half wraps after
+	// 2^32 lookups — beyond any single measurement window.
+	lookups atomic.Uint64
 
 	// onEvict, when set, observes every LRU eviction (the tracer's
 	// memo_evict event). It runs inside the table's write path, so it
@@ -95,10 +103,12 @@ func New(capacity, epochWrites int, compute ComputeFunc) *Table {
 func (t *Table) Lookup(counter uint32) (w mix.Word, hit bool) {
 	if n, ok := t.entries[counter]; ok {
 		t.hits.Inc()
+		t.lookups.Add(1 << 32)
 		t.moveToFront(n)
 		return n.val, true
 	}
 	t.misses.Inc()
+	t.lookups.Add(1)
 	return t.compute(uint64(counter)), false
 }
 
@@ -147,13 +157,24 @@ func (t *Table) WriteValue() uint32 { return t.writeValue }
 func (t *Table) Hits() uint64   { return t.hits.Value() }
 func (t *Table) Misses() uint64 { return t.misses.Value() }
 
-// HitRate returns hits/(hits+misses), or 0 before any lookup.
+// HitRate returns hits/(hits+misses), or 0 before any lookup. The
+// hit/miss pair is read with one atomic load, so the ratio always
+// reflects a state the table actually passed through and stays within
+// [0, 1] no matter how lookups and resets interleave with the call.
 func (t *Table) HitRate() float64 {
-	h, m := t.hits.Value(), t.misses.Value()
+	h, m := t.LookupCounts()
 	if h+m == 0 {
 		return 0
 	}
 	return float64(h) / float64(h+m)
+}
+
+// LookupCounts returns an atomically consistent (hits, misses)
+// snapshot — unlike reading Hits and Misses separately, the two
+// numbers are guaranteed to come from the same instant.
+func (t *Table) LookupCounts() (hits, misses uint64) {
+	v := t.lookups.Load()
+	return v >> 32, v & 0xffffffff
 }
 
 // ResetStats clears the hit/miss counters (per-measurement-window
@@ -161,6 +182,7 @@ func (t *Table) HitRate() float64 {
 func (t *Table) ResetStats() {
 	t.hits.Reset()
 	t.misses.Reset()
+	t.lookups.Store(0)
 }
 
 // RegisterMetrics exposes the table's counters through a registry

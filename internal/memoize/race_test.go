@@ -1,0 +1,85 @@
+package memoize
+
+import (
+	"sync"
+	"testing"
+
+	"counterlight/internal/crypto/mix"
+)
+
+// TestHitRateConcurrentSnapshot is the regression for the torn
+// HitRate read. One goroutine performs strict {miss, hit} lookup
+// pairs under a mutex (the same serialization the sharded engine's
+// per-shard lock provides) with occasional ResetStats calls between
+// pairs, so at every consistent instant hits ≤ misses and therefore
+// the true hit rate never exceeds 0.5. Unsynchronized readers hammer
+// HitRate the whole time: with the old two-load implementation a read
+// could pair pre-reset hits with post-reset misses and report a rate
+// near 1.0; the single-load snapshot pins every observation to a
+// state the table actually passed through.
+func TestHitRateConcurrentSnapshot(t *testing.T) {
+	table := New(4, 0, func(c uint64) mix.Word {
+		return mix.Word{Hi: c, Lo: ^c}
+	})
+
+	pairs := 200_000
+	if testing.Short() {
+		pairs = 40_000
+	}
+
+	var mu sync.Mutex
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var failed sync.Once
+	var badRate float64
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				rate := table.HitRate()
+				if rate < 0 || rate > 1 {
+					failed.Do(func() { badRate = rate })
+					return
+				}
+				// The schedule's invariant: hits never exceed misses.
+				if rate > 0.5 {
+					failed.Do(func() { badRate = rate })
+					return
+				}
+				h, m := table.LookupCounts()
+				if h > m {
+					failed.Do(func() { badRate = float64(h) / float64(h+m) })
+					return
+				}
+			}
+		}()
+	}
+
+	// The new-table contents are {0 (pinned), 2}: Lookup(0) always
+	// hits, Lookup(5) always misses (read misses do not insert).
+	for i := 0; i < pairs; i++ {
+		mu.Lock()
+		table.Lookup(5)
+		table.Lookup(0)
+		if i%97 == 0 {
+			table.ResetStats()
+		}
+		mu.Unlock()
+	}
+	close(done)
+	wg.Wait()
+
+	if badRate != 0 {
+		t.Fatalf("HitRate observed an inconsistent snapshot: %v (want a value ≤ 0.5 from some real instant)", badRate)
+	}
+	if rate := table.HitRate(); rate < 0 || rate > 0.5 {
+		t.Fatalf("final HitRate = %v out of [0, 0.5]", rate)
+	}
+}
