@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet fmt check checkers concurrent-race serve fuzz clean
+.PHONY: build test race vet fmt check checkers concurrent-race serve bench bench-json fuzz clean
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,24 @@ concurrent-race:
 # Run the sharded engine as a standing service with live metrics.
 serve:
 	$(GO) run ./cmd/clserve -conns 8 -duration 0 -addr 127.0.0.1:8091
+
+# The full Go benchmark suite with allocation reporting (figures,
+# engine micro-benchmarks, pool throughput, attack instance).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Append the next BENCH_<n>.json perf-trajectory snapshot: runs the
+# pinned suite (cmd/clbench -bench-json) at full measurement windows
+# and picks the first free index. Gate it against the baseline with
+#   go run ./cmd/clreport -bench-compare BENCH_0.json BENCH_<n>.json
+# Override the path or windows (CI smoke) with
+#   make bench-json BENCH_OUT=BENCH_ci.json BENCH_FLAGS=-bench-quick
+bench-json:
+	@out="$(BENCH_OUT)"; \
+	if [ -z "$$out" ]; then \
+		i=0; while [ -e BENCH_$$i.json ]; do i=$$((i+1)); done; out=BENCH_$$i.json; \
+	fi; \
+	$(GO) run ./cmd/clbench -bench-json $$out $(BENCH_FLAGS)
 
 # Native fuzzing, one target at a time (go test allows a single -fuzz
 # per invocation). FUZZTIME=5m for a longer local hunt.

@@ -11,6 +11,8 @@
 //	clbench -v              # log each simulation as it starts
 //	clbench -serve :8080    # watch the sweep live in a browser
 //	clbench -snapshots out/ # one metrics-JSON snapshot per simulated cell
+//	clbench -bench-json BENCH_1.json  # pinned perf suite -> schema-versioned snapshot
+//	clbench -bench-json out.json -bench-quick  # reduced windows (CI smoke)
 package main
 
 import (
@@ -39,7 +41,13 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve live telemetry over HTTP on this address while the sweep runs (e.g. :8080)")
 	snapshots := flag.String("snapshots", "", "write one metrics-JSON snapshot per simulated cell into this directory (clreport -compare input)")
 	concurrent := flag.Bool("concurrent", false, "benchmark the sharded concurrent engine against a serial engine on a fixed-seed trace and verify bit-identical aggregates")
+	benchJSON := flag.String("bench-json", "", "run the pinned perf suite and write a BENCH-schema snapshot to this path (clreport -bench-compare input)")
+	benchQuick := flag.Bool("bench-quick", false, "with -bench-json: reduced measurement windows for CI smoke runs")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		os.Exit(runBenchJSON(*benchJSON, *benchQuick))
+	}
 
 	if *concurrent {
 		os.Exit(runConcurrentBench(*quick, *jobs))

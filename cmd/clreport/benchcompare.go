@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"counterlight/internal/perf"
+)
+
+// benchCompare diffs two BENCH-schema snapshots (cmd/clbench
+// -bench-json output) and grades the gated metrics against the warn
+// and fail thresholds. Returns the process exit code: 0 when the gate
+// passes, 1 when any gated regression exceeds fail.
+func benchCompare(oldPath, newPath string, warn, fail float64) int {
+	old, err := perf.ReadFile(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clreport: %v\n", err)
+		return 2
+	}
+	new, err := perf.ReadFile(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clreport: %v\n", err)
+		return 2
+	}
+
+	deltas := perf.Compare(old, new)
+	verdict := perf.Grade(deltas, warn, fail)
+
+	fmt.Printf("bench-compare: %s (%s) -> %s (%s)\n", oldPath, envLine(old), newPath, envLine(new))
+	if old.Quick != new.Quick {
+		fmt.Println("  note: quick/full measurement windows differ between snapshots; expect extra noise")
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "  benchmark\tmetric\told\tnew\tdelta\t")
+	for _, d := range deltas {
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%s\t%s\n",
+			d.Name, d.Metric, metricValue(d.Metric, d.Old), metricValue(d.Metric, d.New),
+			pctString(d.Pct), gradeString(d, warn, fail))
+	}
+	tw.Flush()
+
+	removed, added := perf.Missing(old, new)
+	for _, name := range removed {
+		fmt.Printf("  removed: %s\n", name)
+	}
+	for _, name := range added {
+		fmt.Printf("  added: %s\n", name)
+	}
+
+	switch {
+	case !verdict.OK():
+		fmt.Printf("bench-compare: FAIL — %d gated regression(s) above %.0f%%\n", len(verdict.Fails), fail*100)
+		return 1
+	case len(verdict.Warns) > 0:
+		fmt.Printf("bench-compare: WARN — %d regression(s) above %.0f%% (fail threshold %.0f%%)\n",
+			len(verdict.Warns), warn*100, fail*100)
+	default:
+		fmt.Println("bench-compare: OK")
+	}
+	return 0
+}
+
+func envLine(s perf.Snapshot) string {
+	q := ""
+	if s.Quick {
+		q = ", quick"
+	}
+	return fmt.Sprintf("%s %s/%s p%d%s", s.Go, s.OS, s.Arch, s.MaxProcs, q)
+}
+
+func metricValue(metric string, v float64) string {
+	switch metric {
+	case "ns/op":
+		return fmt.Sprintf("%.1f", v)
+	case "ops/sec":
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func pctString(pct float64) string {
+	if math.IsInf(pct, 1) {
+		return "+inf%"
+	}
+	return fmt.Sprintf("%+.1f%%", pct*100)
+}
+
+func gradeString(d perf.Delta, warn, fail float64) string {
+	if !d.Gated {
+		return ""
+	}
+	switch {
+	case fail > 0 && d.Pct > fail:
+		return "FAIL"
+	case warn > 0 && d.Pct > warn:
+		return "warn"
+	default:
+		return "ok"
+	}
+}

@@ -8,6 +8,8 @@
 //	clreport -quick   # halved windows, ~2x faster
 //	clreport -compare a.json b.json   # diff clsim -metrics-json snapshots
 //	clreport -compare snapdir/        # every *.json in a clbench -snapshots dir
+//	clreport -bench-compare BENCH_0.json BENCH_1.json   # grade a perf trajectory step
+//	clreport -bench-compare -bench-warn 0.10 -bench-fail 0.25 old.json new.json
 package main
 
 import (
@@ -23,7 +25,18 @@ func main() {
 	quick := flag.Bool("quick", false, "halve the simulation windows")
 	verbose := flag.Bool("v", false, "log each simulation run")
 	compare := flag.Bool("compare", false, "compare metrics-JSON snapshot files (or directories of them) instead of running the scorecard")
+	benchCmp := flag.Bool("bench-compare", false, "compare two clbench -bench-json snapshots and gate regressions")
+	benchWarn := flag.Float64("bench-warn", 0.10, "with -bench-compare: warn when a gated metric regresses past this fraction (0 disables)")
+	benchFail := flag.Float64("bench-fail", 0.25, "with -bench-compare: exit nonzero past this fraction (0 disables)")
 	flag.Parse()
+
+	if *benchCmp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "clreport: -bench-compare needs exactly two BENCH json files (old new)")
+			os.Exit(2)
+		}
+		os.Exit(benchCompare(flag.Arg(0), flag.Arg(1), *benchWarn, *benchFail))
+	}
 
 	if *compare {
 		if flag.NArg() == 0 {

@@ -9,7 +9,9 @@
 //
 //	clserve -conns 8 -duration 10s
 //	clserve -conns 16 -qps 50000 -duration 30s -csv queue-depth.csv
-//	clserve -addr :8080            # serve /metrics (Prometheus) and /metrics.json
+//	clserve -addr :8080            # monitoring server: /metrics, /metrics.json, /api/attrib
+//	clserve -attrib                # per-op latency attribution breakdown at exit
+//	clserve -metrics-json final.json  # dump the full registry on clean shutdown
 //	clserve -duration 0            # run until interrupted
 package main
 
@@ -18,8 +20,6 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -29,6 +29,7 @@ import (
 	"counterlight/internal/core"
 	"counterlight/internal/mcpool"
 	"counterlight/internal/obs"
+	"counterlight/internal/obs/serve"
 )
 
 func main() {
@@ -43,17 +44,19 @@ func main() {
 	readFrac := flag.Float64("read-frac", 0.5, "fraction of requests that are reads")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	csvPath := flag.String("csv", "", "append 100ms queue-depth samples to this CSV file")
-	addr := flag.String("addr", "", "serve /metrics (Prometheus) and /metrics.json on this address while running")
+	addr := flag.String("addr", "", "serve the monitoring server (/metrics, /metrics.json, /api/attrib, pprof) on this address while running")
+	attrib := flag.Bool("attrib", false, "enable per-op latency attribution and print the queue/batch/service/writeback breakdown at exit")
+	metricsJSON := flag.String("metrics-json", "", "write the final metrics registry as JSON to this path on clean shutdown (clreport -compare input)")
 	flag.Parse()
 
 	if code := run(*conns, *qps, *duration, *shards, *queue, *batch, *watermark,
-		*blocks, *readFrac, *seed, *csvPath, *addr); code != 0 {
+		*blocks, *readFrac, *seed, *csvPath, *addr, *attrib, *metricsJSON); code != 0 {
 		os.Exit(code)
 	}
 }
 
 func run(conns, qps int, duration time.Duration, shards, queue, batch, watermark,
-	blocks int, readFrac float64, seed int64, csvPath, addr string) int {
+	blocks int, readFrac float64, seed int64, csvPath, addr string, attrib bool, metricsJSON string) int {
 	if conns <= 0 || blocks < conns {
 		fmt.Fprintf(os.Stderr, "clserve: need at least one connection and one block per connection\n")
 		return 2
@@ -63,11 +66,12 @@ func run(conns, qps int, duration time.Duration, shards, queue, batch, watermark
 		opts.MemSize = need
 	}
 	pool, err := mcpool.New(mcpool.Config{
-		Shards:     shards,
-		QueueDepth: queue,
-		BatchMax:   batch,
-		Watermark:  watermark,
-		Engine:     opts,
+		Shards:      shards,
+		QueueDepth:  queue,
+		BatchMax:    batch,
+		Watermark:   watermark,
+		Attribution: attrib,
+		Engine:      opts,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clserve: %v\n", err)
@@ -98,24 +102,19 @@ func run(conns, qps int, duration time.Duration, shards, queue, batch, watermark
 	}
 
 	if addr != "" {
-		ln, err := net.Listen("tcp", addr)
+		srv := serve.New()
+		srv.MergeRegistry(reg)
+		bound, err := srv.ListenAndServe(addr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clserve: -addr: %v\n", err)
 			return 1
 		}
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			reg.Snapshot().WritePrometheus(w) //nolint:errcheck // best-effort exposition
-		})
-		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			reg.Snapshot().WriteJSON(w) //nolint:errcheck // best-effort exposition
-		})
-		srv := &http.Server{Handler: mux}
-		go srv.Serve(ln) //nolint:errcheck // shut down below
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "clserve: serving metrics on http://%s/metrics\n", ln.Addr())
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx) //nolint:errcheck // exiting anyway
+		}()
+		fmt.Fprintf(os.Stderr, "clserve: serving metrics on http://%s/metrics\n", bound)
 	}
 
 	var sampler *csvSampler
@@ -174,7 +173,48 @@ func run(conns, qps int, duration time.Duration, shards, queue, batch, watermark
 	fmt.Printf("  mode-switches=%d batches=%d contention=%d max-queue-depth=%d\n",
 		agg.ModeSwitches, agg.Batches, agg.Contention, agg.MaxQueueDepth)
 	fmt.Printf("  latency p50≤%s p99≤%s\n", quantileEdge(latency, 0.50), quantileEdge(latency, 0.99))
+	if attrib {
+		printAttribution(pool)
+	}
+	if metricsJSON != "" {
+		if err := writeMetricsJSON(metricsJSON, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "clserve: -metrics-json: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "clserve: wrote metrics snapshot to %s\n", metricsJSON)
+	}
 	return 0
+}
+
+// printAttribution renders the merged per-stage latency breakdown: for
+// each pipeline stage (and the end-to-end total), sample count, mean,
+// and conservative upper-edge percentiles across all shards.
+func printAttribution(pool *mcpool.Pool) {
+	rows := pool.AttributionSummary()
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Println("  attribution (per-op latency by stage, upper-edge percentiles):")
+	fmt.Printf("    %-10s %10s %12s %12s %12s %12s\n", "stage", "count", "mean", "p50≤", "p95≤", "p99≤")
+	for _, row := range rows {
+		fmt.Printf("    %-10s %10d %12s %12s %12s %12s\n",
+			row.Stage, row.Count, time.Duration(row.MeanNs),
+			time.Duration(row.P50Ns), time.Duration(row.P95Ns), time.Duration(row.P99Ns))
+	}
+}
+
+// writeMetricsJSON dumps the registry's final state in the clreport
+// -compare / clsim -metrics-json interchange format.
+func writeMetricsJSON(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = reg.Snapshot().WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // paceInterval converts a total qps target into one connection's

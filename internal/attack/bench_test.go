@@ -1,0 +1,18 @@
+package attack
+
+import "testing"
+
+// BenchmarkAttackToyInstance measures the §IV-F SAT experiment at the
+// widest tractable width.
+func BenchmarkAttackToyInstance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		inst, err := BuildInstance(2, 2, 4, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := NewSolver(inst.CNF)
+		if s.Solve() != Sat {
+			b.Fatal("toy instance unsat")
+		}
+	}
+}

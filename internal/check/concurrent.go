@@ -39,6 +39,11 @@ type ConcurrentConfig struct {
 	QueueDepth int    // per-shard queue bound (default 64)
 	BatchMax   int    // per-lock-acquisition batch cap (default 8)
 	Variant    string // engine variant (default aes128)
+	// Attribution turns on the pool's per-op latency spans for the
+	// replay. The differential check is unchanged: attribution must
+	// leave every journal entry and engine counter bit-identical, so
+	// campaigns run with it on prove the observer is an observer.
+	Attribution bool
 }
 
 func (c ConcurrentConfig) withDefaults() ConcurrentConfig {
@@ -100,12 +105,13 @@ func ConcurrentReplay(prog Program, ccfg ConcurrentConfig) (ConcurrentResult, er
 		}
 	}
 	pool, err := mcpool.New(mcpool.Config{
-		Shards:     ccfg.Shards,
-		QueueDepth: ccfg.QueueDepth,
-		BatchMax:   ccfg.BatchMax,
-		Watermark:  -1, // explicit modes only: no load-dependent degradation
-		Journal:    true,
-		Engine:     v.Options(false),
+		Shards:      ccfg.Shards,
+		QueueDepth:  ccfg.QueueDepth,
+		BatchMax:    ccfg.BatchMax,
+		Watermark:   -1, // explicit modes only: no load-dependent degradation
+		Journal:     true,
+		Attribution: ccfg.Attribution,
+		Engine:      v.Options(false),
 	})
 	if err != nil {
 		return ConcurrentResult{}, err

@@ -96,6 +96,47 @@ func TestConcurrentSaturationInterleaving(t *testing.T) {
 	}
 }
 
+// TestConcurrentReplayAttributionBitIdentical is the acceptance gate
+// for latency attribution: the same seeded programs must replay with
+// zero divergences with attribution on (the full plaintext / ReadInfo
+// / mode / EngineStats differential check against the serial oracle
+// replay), and — on the deterministic Submitters == Shards
+// partitioning — the applied-op journals with attribution on and off
+// must be bit-identical. Spans observe the pipeline; they must not
+// steer it.
+func TestConcurrentReplayAttributionBitIdentical(t *testing.T) {
+	ccfg := ConcurrentConfig{Submitters: 4, Shards: 4, Attribution: true}
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		prog := Generate(seed, ConcurrentGenConfig())
+		res, err := ConcurrentReplay(prog, ccfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Div != nil {
+			t.Fatalf("seed %d diverged with attribution on: %s", seed, res.Div.String())
+		}
+	}
+
+	prog := Generate(3, ConcurrentGenConfig())
+	off := concurrentJournal(t, prog, ConcurrentConfig{Submitters: 4, Shards: 4})
+	on := concurrentJournal(t, prog, ccfg)
+	if len(off) != len(on) {
+		t.Fatalf("journal lengths differ: %d off vs %d on", len(off), len(on))
+	}
+	for i := range off {
+		a, b := off[i], on[i]
+		if a.Seq != b.Seq || a.Req.Tag != b.Req.Tag || a.Req.Mode != b.Req.Mode ||
+			a.Resp.Mode != b.Resp.Mode || a.Resp.Plain != b.Resp.Plain ||
+			a.Resp.Info != b.Resp.Info || (a.Resp.Err == nil) != (b.Resp.Err == nil) {
+			t.Fatalf("journal entry %d differs with attribution on:\n  off: %+v\n  on:  %+v", i, a, b)
+		}
+	}
+}
+
 // concurrentJournal runs prog through a fresh pool with the same
 // partitioning ConcurrentReplay uses and returns the concatenated
 // per-shard journals (shard-major order — deterministic when
@@ -108,12 +149,13 @@ func concurrentJournal(t *testing.T, prog Program, ccfg ConcurrentConfig) []mcpo
 		t.Fatal(err)
 	}
 	pool, err := mcpool.New(mcpool.Config{
-		Shards:     ccfg.Shards,
-		QueueDepth: ccfg.QueueDepth,
-		BatchMax:   ccfg.BatchMax,
-		Watermark:  -1,
-		Journal:    true,
-		Engine:     v.Options(false),
+		Shards:      ccfg.Shards,
+		QueueDepth:  ccfg.QueueDepth,
+		BatchMax:    ccfg.BatchMax,
+		Watermark:   -1,
+		Journal:     true,
+		Attribution: ccfg.Attribution,
+		Engine:      v.Options(false),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -362,24 +362,3 @@ func TestStatsAccounting(t *testing.T) {
 		t.Errorf("counterless writes = %d, want 5", s.CounterlessWrites)
 	}
 }
-
-func BenchmarkEngineWriteCounterMode(b *testing.B) {
-	e, _ := NewEngine(DefaultEngineOptions())
-	var plain cipher.Block
-	for i := 0; i < b.N; i++ {
-		addr := uint64(i%10000) * 64
-		_ = e.Write(addr, plain, epoch.CounterMode)
-	}
-}
-
-func BenchmarkEngineRead(b *testing.B) {
-	e, _ := NewEngine(DefaultEngineOptions())
-	var plain cipher.Block
-	for i := 0; i < 1000; i++ {
-		_ = e.Write(uint64(i)*64, plain, epoch.CounterMode)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, _, _ = e.Read(uint64(i%1000) * 64)
-	}
-}

@@ -1,0 +1,104 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (one benchmark per figure, §III + §VI). Results in
+// figure form come from cmd/clbench; these benchmarks exist so
+// `go test -bench=.` exercises the full experiment matrix and
+// reports its cost.
+//
+// The Runner memoizes simulations, so benchmarks that share
+// configurations (e.g. Fig5/Fig16/Fig17/Fig18/Fig19) reuse each
+// other's runs after the first iteration.
+package figures
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	runnerOnce sync.Once
+	runner     *Runner
+)
+
+// sharedRunner returns the memoizing figure runner (quick windows).
+func sharedRunner() *Runner {
+	runnerOnce.Do(func() { runner = NewRunner(true) })
+	return runner
+}
+
+func benchFigure(b *testing.B, gen func(*Runner) (Figure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fig, err := gen(sharedRunner())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Rows) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkSec3Micro regenerates the §III pointer-chase microbenchmark
+// (the per-miss AES latency measurement).
+func BenchmarkSec3Micro(b *testing.B) {
+	benchFigure(b, (*Runner).Sec3Micro)
+}
+
+// BenchmarkFig05 regenerates Fig. 5 (counterless vs no encryption,
+// AES-128/AES-256, irregular set).
+func BenchmarkFig05(b *testing.B) { benchFigure(b, (*Runner).Fig5) }
+
+// BenchmarkFig08 regenerates Fig. 8 (counter-arrival distribution).
+func BenchmarkFig08(b *testing.B) { benchFigure(b, (*Runner).Fig8) }
+
+// BenchmarkFig09 regenerates Fig. 9 (single-counter-access overhead).
+func BenchmarkFig09(b *testing.B) { benchFigure(b, (*Runner).Fig9) }
+
+// BenchmarkFig16 regenerates Fig. 16 (the headline performance figure).
+func BenchmarkFig16(b *testing.B) { benchFigure(b, (*Runner).Fig16) }
+
+// BenchmarkFig17 regenerates Fig. 17 (LLC miss latency overhead).
+func BenchmarkFig17(b *testing.B) { benchFigure(b, (*Runner).Fig17) }
+
+// BenchmarkFig18 regenerates Fig. 18 (bandwidth utilization).
+func BenchmarkFig18(b *testing.B) { benchFigure(b, (*Runner).Fig18) }
+
+// BenchmarkFig19 regenerates Fig. 19 (energy per instruction).
+func BenchmarkFig19(b *testing.B) { benchFigure(b, (*Runner).Fig19) }
+
+// BenchmarkFig20 regenerates Fig. 20 (6.4 GB/s stress test).
+func BenchmarkFig20(b *testing.B) { benchFigure(b, (*Runner).Fig20) }
+
+// BenchmarkFig21 regenerates Fig. 21 (counterless-writeback share vs
+// threshold).
+func BenchmarkFig21(b *testing.B) { benchFigure(b, (*Runner).Fig21) }
+
+// BenchmarkFig22 regenerates Fig. 22 (performance vs threshold).
+func BenchmarkFig22(b *testing.B) { benchFigure(b, (*Runner).Fig22) }
+
+// BenchmarkFig23 regenerates Fig. 23 (regular workloads).
+func BenchmarkFig23(b *testing.B) { benchFigure(b, (*Runner).Fig23) }
+
+// BenchmarkAblationNoSwitch regenerates the §VI no-dynamic-switching
+// sensitivity study.
+func BenchmarkAblationNoSwitch(b *testing.B) {
+	benchFigure(b, (*Runner).AblationNoSwitch)
+}
+
+// BenchmarkAblationMemo regenerates the memoization-table ablation.
+func BenchmarkAblationMemo(b *testing.B) {
+	benchFigure(b, (*Runner).AblationMemo)
+}
+
+// BenchmarkEntropy regenerates the §IV-E entropy-disambiguation study.
+func BenchmarkEntropy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := SecIVE(2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Rows) == 0 {
+			b.Fatal("empty entropy figure")
+		}
+	}
+}

@@ -134,6 +134,14 @@ type Config struct {
 	// replay (the concurrent differential harness). Off by default:
 	// journals grow with traffic.
 	Journal bool
+	// Attribution enables per-op latency attribution: every Submit
+	// gets a pooled obs.Span that decomposes its end-to-end latency
+	// into queue / batch / service / writeback stages, recorded into
+	// per-shard histograms (see StageNames). Off by default; when off
+	// the hot path pays one nil check per stage. Attribution is
+	// strictly an observer — enabling it changes no engine result and
+	// no journal entry (check.ConcurrentReplay proves this).
+	Attribution bool
 	// Engine configures each shard's core.Engine. The zero value
 	// means core.DefaultEngineOptions(). Every shard engine spans the
 	// full address space; routing keeps their written sets disjoint.
@@ -174,12 +182,32 @@ type shard struct {
 	contention   obs.Counter
 	modeSwitches obs.Counter
 	batchSize    *obs.Histogram
+	attrib       *obs.Attributor // nil unless Config.Attribution
 }
 
 type submission struct {
-	req Request
-	fut *Future
+	req  Request
+	fut  *Future
+	span *obs.Span // nil unless attribution is on (barriers never carry one)
 }
+
+// Latency-attribution stages, in mark order. Per operation:
+// queue is submit to worker dequeue; batch is dequeue to shard-lock
+// acquisition (batch assembly plus lock wait); service is lock
+// acquisition to this op's engine apply completing (which includes
+// the applies of earlier ops in the same batch — the batch convoy is
+// genuine service-side serialization); writeback is apply completion
+// to the response handed to the submitter's future. The four stage
+// durations sum to the op's end-to-end latency exactly.
+const (
+	stageQueue = iota
+	stageBatch
+	stageService
+	stageWriteback
+)
+
+// StageNames are the attribution stage names, in pipeline order.
+var StageNames = []string{"queue", "batch", "service", "writeback"}
 
 // New builds and starts a pool; Close stops it.
 func New(cfg Config) (*Pool, error) {
@@ -214,12 +242,20 @@ func New(cfg Config) (*Pool, error) {
 		if err != nil {
 			return nil, err
 		}
+		var attrib *obs.Attributor
+		if cfg.Attribution {
+			attrib, err = obs.NewAttributor(StageNames)
+			if err != nil {
+				return nil, err
+			}
+		}
 		p.shards[i] = &shard{
 			id:        i,
 			q:         make(chan submission, cfg.QueueDepth),
 			eng:       eng,
 			lastMode:  make(map[uint64]epoch.Mode),
 			batchSize: batchSize,
+			attrib:    attrib,
 		}
 		p.wg.Add(1)
 		go p.worker(p.shards[i])
@@ -249,7 +285,7 @@ func (p *Pool) Submit(req Request) (*Future, error) {
 	fut := newFuture()
 	s := p.shards[p.ShardOf(req.Addr)]
 	p.submitted.Inc()
-	s.q <- submission{req: req, fut: fut}
+	s.q <- submission{req: req, fut: fut, span: s.attrib.Start()}
 	p.noteDepth(int64(len(s.q)))
 	return fut, nil
 }
@@ -265,12 +301,14 @@ func (p *Pool) TrySubmit(req Request) (*Future, bool) {
 	}
 	fut := newFuture()
 	s := p.shards[p.ShardOf(req.Addr)]
+	sub := submission{req: req, fut: fut, span: s.attrib.Start()}
 	select {
-	case s.q <- submission{req: req, fut: fut}:
+	case s.q <- sub:
 		p.submitted.Inc()
 		p.noteDepth(int64(len(s.q)))
 		return fut, true
 	default:
+		sub.span.Discard() // refused: recycle without recording anything
 		return nil, false
 	}
 }
@@ -346,6 +384,7 @@ func (p *Pool) Close() {
 func (p *Pool) worker(s *shard) {
 	defer p.wg.Done()
 	for sub := range s.q {
+		sub.span.Mark(stageQueue)
 		batch := make([]submission, 1, p.cfg.BatchMax)
 		batch[0] = sub
 	drain:
@@ -355,6 +394,7 @@ func (p *Pool) worker(s *shard) {
 				if !ok {
 					break drain
 				}
+				more.span.Mark(stageQueue)
 				batch = append(batch, more)
 			default:
 				break drain
@@ -365,10 +405,14 @@ func (p *Pool) worker(s *shard) {
 			s.contention.Inc()
 			s.mu.Lock()
 		}
+		for i := range batch {
+			batch[i].span.Mark(stageBatch)
+		}
 		resps := make([]Response, len(batch))
 		work := 0 // non-barrier requests; Flush fences don't count
 		for i := range batch {
 			resps[i] = p.apply(s, batch[i].req)
+			batch[i].span.Mark(stageService)
 			if batch[i].req.Kind != opBarrier {
 				work++
 			}
@@ -376,6 +420,8 @@ func (p *Pool) worker(s *shard) {
 		s.mu.Unlock()
 		for i := range batch {
 			batch[i].fut.ch <- resps[i]
+			batch[i].span.Mark(stageWriteback)
+			batch[i].span.Finish()
 		}
 		if work > 0 {
 			s.batches.Inc()
@@ -521,6 +567,32 @@ func (p *Pool) Sample() Sample {
 // when disabled).
 func (p *Pool) Watermark() int { return p.cfg.Watermark }
 
+// AttributionEnabled reports whether the pool records per-op latency
+// attribution.
+func (p *Pool) AttributionEnabled() bool { return p.cfg.Attribution }
+
+// AttributionSummary merges the per-shard stage histograms into one
+// pool-wide latency breakdown: one row per stage (queue, batch,
+// service, writeback) plus a final end-to-end "total" row. Nil when
+// attribution is off.
+func (p *Pool) AttributionSummary() []obs.StageSummary {
+	if !p.cfg.Attribution {
+		return nil
+	}
+	as := make([]*obs.Attributor, len(p.shards))
+	for i, s := range p.shards {
+		as[i] = s.attrib
+	}
+	return obs.SummarizeAttributors(as)
+}
+
+// ShardAttribution returns shard i's latency attributor (nil when
+// attribution is off) — per-shard breakdowns for tests and the
+// monitoring surfaces.
+func (p *Pool) ShardAttribution(i int) *obs.Attributor {
+	return p.shards[i].attrib
+}
+
 // RegisterMetrics exposes the pool's frontend counters and every
 // shard's engine counters (shard="N"-labelled) through a registry.
 func (p *Pool) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
@@ -535,6 +607,7 @@ func (p *Pool) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
 		reg.RegisterCounter("mcpool_shard_contention_total", &s.contention, ls...)
 		reg.RegisterCounter("mcpool_shard_mode_switches_total", &s.modeSwitches, ls...)
 		reg.RegisterHistogram("mcpool_shard_batch_size", s.batchSize, ls...)
+		s.attrib.Register(reg, "mcpool_stage_latency_ns", "mcpool_op_latency_ns", ls...)
 		s.eng.RegisterMetrics(reg, ls...)
 	}
 }

@@ -36,6 +36,9 @@ type Server struct {
 	reg  *obs.Registry // server-side metrics (SSE clients, run counts)
 	mux  *http.ServeMux
 
+	mergedMu sync.Mutex
+	merged   []*obs.Registry // external registries (MergeRegistry)
+
 	mu   sync.Mutex
 	http *http.Server
 }
@@ -62,12 +65,29 @@ func (s *Server) Pool() *Pool { return s.pool }
 // mounting under an existing server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// MergeRegistry adds an external registry to the server's metrics
+// surfaces: its series appear on /metrics, /metrics.json, and (for
+// stage-labelled latency histograms) /api/attrib alongside the
+// server's own and every run's. Use it to mount component registries
+// — e.g. an mcpool's shard metrics — on the monitoring server without
+// routing them through a Run.
+func (s *Server) MergeRegistry(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mergedMu.Lock()
+	s.merged = append(s.merged, reg)
+	s.mergedMu.Unlock()
+}
+
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("GET /api/runs", s.handleRuns)
 	s.mux.HandleFunc("GET /api/runs/{id}", s.handleRun)
 	s.mux.HandleFunc("GET /api/runs/{id}/series", s.handleSeries)
+	s.mux.HandleFunc("GET /api/attrib", s.handleAttrib)
 	s.mux.HandleFunc("GET /api/stream", s.handleStream)
 
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -117,16 +137,89 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Write(page)
 }
 
-// handleMetrics merges the server's own registry with every run's
-// registry (run="<id>"-labelled) into one Prometheus exposition.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// mergedSnapshot combines the server's own registry, every run's
+// registry (run="<id>"-labelled), and every MergeRegistry registry
+// into one snapshot.
+func (s *Server) mergedSnapshot() obs.Snapshot {
 	snap := s.reg.Snapshot()
 	runs := s.pool.metricsSnapshot()
 	snap.Series = append(snap.Series, runs.Series...)
+	s.mergedMu.Lock()
+	merged := append([]*obs.Registry(nil), s.merged...)
+	s.mergedMu.Unlock()
+	for _, reg := range merged {
+		snap.Series = append(snap.Series, reg.Snapshot().Series...)
+	}
+	return snap
+}
+
+// handleMetrics renders the merged snapshot as a Prometheus
+// exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.mergedSnapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := snap.WritePrometheus(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// handleMetricsJSON renders the merged snapshot in the clreport
+// -compare interchange format.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.mergedSnapshot().WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// AttribRow is one stage of one latency-attribution histogram on
+// /api/attrib: the series identity plus its distribution reduced to
+// count, mean, and conservative upper-edge percentiles.
+type AttribRow struct {
+	Name   string            `json:"name"`
+	Stage  string            `json:"stage"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Count  uint64            `json:"count"`
+	MeanNs int64             `json:"mean_ns"`
+	P50Ns  int64             `json:"p50_ns"`
+	P95Ns  int64             `json:"p95_ns"`
+	P99Ns  int64             `json:"p99_ns"`
+}
+
+// handleAttrib reports every stage-labelled latency histogram in the
+// merged snapshot — the obs.Attributor export convention — as a JSON
+// breakdown: per-stage counts and percentiles, in the snapshot's
+// deterministic series order.
+func (s *Server) handleAttrib(w http.ResponseWriter, r *http.Request) {
+	snap := s.mergedSnapshot()
+	rows := []AttribRow{}
+	for _, se := range snap.Series {
+		if se.Kind != obs.KindHistogram || se.Labels["stage"] == "" {
+			continue
+		}
+		row := AttribRow{
+			Name:  se.Name,
+			Stage: se.Labels["stage"],
+			Count: uint64(se.Value),
+			P50Ns: se.Quantile(0.50),
+			P95Ns: se.Quantile(0.95),
+			P99Ns: se.Quantile(0.99),
+		}
+		if row.Count > 0 {
+			row.MeanNs = se.Sum / int64(row.Count)
+		}
+		row.Labels = make(map[string]string, len(se.Labels))
+		for k, v := range se.Labels {
+			if k != "stage" {
+				row.Labels[k] = v
+			}
+		}
+		if len(row.Labels) == 0 {
+			row.Labels = nil
+		}
+		rows = append(rows, row)
+	}
+	writeJSON(w, rows)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

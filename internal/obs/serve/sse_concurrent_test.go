@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+
+	"counterlight/internal/core"
+	"counterlight/internal/obs"
+)
+
+// TestStreamUnderConcurrentRuns is the SSE correctness probe for
+// simultaneous publishers: several runs attach and publish epoch
+// samples from racing goroutines while a streaming client listens.
+// Every run must appear on the stream, every received payload must be
+// well-formed JSON attributed to a real run, and all completion
+// events must arrive. Run under -race this doubles as a data-race
+// probe of the hub's publish/subscribe path.
+func TestStreamUnderConcurrentRuns(t *testing.T) {
+	srv := New()
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	resp, err := http.Get("http://" + addr + "/api/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	const runs, samplesPerRun = 4, 8
+	var wg sync.WaitGroup
+	for r := 0; r < runs; r++ {
+		cfg := testCfg(core.CounterLight)
+		_, done := srv.Pool().Attach("mcf", &cfg)
+		wg.Add(1)
+		go func(cfg *core.Config) {
+			defer wg.Done()
+			for i := 1; i <= samplesPerRun; i++ {
+				cfg.Epochs.PublishEpoch(fakeSample(i))
+			}
+			done(nil)
+		}(&cfg)
+	}
+	wg.Wait()
+
+	// All events were published before any could be dropped only if
+	// the client drains fast enough; the hub's buffer (256) comfortably
+	// holds runs*(samplesPerRun+1) = 36, so every event must arrive.
+	want := runs * (samplesPerRun + 1)
+	events, err := readSSE(bufio.NewReader(resp.Body), want)
+	if len(events) != want {
+		t.Fatalf("got %d SSE events (err %v), want %d", len(events), err, want)
+	}
+
+	epochsByRun := map[int]int{}
+	doneRuns := map[int]bool{}
+	for _, e := range events {
+		switch e.name {
+		case "epoch":
+			var msg struct {
+				Run    int             `json:"run"`
+				Sample obs.EpochSample `json:"sample"`
+			}
+			if jerr := json.Unmarshal([]byte(e.data), &msg); jerr != nil {
+				t.Fatalf("epoch event not JSON: %v (%q)", jerr, e.data)
+			}
+			if msg.Run < 1 || msg.Run > runs {
+				t.Fatalf("epoch event for unknown run %d", msg.Run)
+			}
+			epochsByRun[msg.Run]++
+		case "run":
+			var st RunStatus
+			if jerr := json.Unmarshal([]byte(e.data), &st); jerr != nil {
+				t.Fatalf("run event not JSON: %v (%q)", jerr, e.data)
+			}
+			if st.State != "done" {
+				t.Errorf("run %d completed in state %q", st.ID, st.State)
+			}
+			doneRuns[st.ID] = true
+		default:
+			t.Errorf("unexpected SSE event %q", e.name)
+		}
+	}
+	for r := 1; r <= runs; r++ {
+		if epochsByRun[r] != samplesPerRun {
+			t.Errorf("run %d: %d epoch events, want %d", r, epochsByRun[r], samplesPerRun)
+		}
+		if !doneRuns[r] {
+			t.Errorf("run %d: no completion event", r)
+		}
+	}
+}
+
+// TestStreamRunFilterUnderConcurrentRuns asserts ?run=N isolation
+// while other runs publish concurrently: the filtered stream must
+// deliver run N's events and nothing else.
+func TestStreamRunFilterUnderConcurrentRuns(t *testing.T) {
+	srv := New()
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	// Attach two runs before subscribing so the filter target exists.
+	cfgA := testCfg(core.CounterLight)
+	_, doneA := srv.Pool().Attach("mcf", &cfgA)
+	cfgB := testCfg(core.CounterLight)
+	_, doneB := srv.Pool().Attach("mcf", &cfgB)
+
+	resp, err := http.Get("http://" + addr + "/api/stream?run=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	const n = 6
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= n; i++ {
+			cfgA.Epochs.PublishEpoch(fakeSample(i))
+		}
+		doneA(nil)
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= n; i++ {
+			cfgB.Epochs.PublishEpoch(fakeSample(i))
+		}
+		doneB(nil)
+	}()
+	wg.Wait()
+
+	events, err := readSSE(bufio.NewReader(resp.Body), n+1)
+	if len(events) != n+1 {
+		t.Fatalf("got %d filtered events (err %v), want %d", len(events), err, n+1)
+	}
+	for _, e := range events {
+		var probe struct {
+			Run int `json:"run"`
+			ID  int `json:"id"`
+		}
+		if jerr := json.Unmarshal([]byte(e.data), &probe); jerr != nil {
+			t.Fatalf("event not JSON: %v (%q)", jerr, e.data)
+		}
+		if probe.Run != 2 && probe.ID != 2 {
+			t.Errorf("filtered stream leaked event for run %d/%d: %s", probe.Run, probe.ID, e.data)
+		}
+	}
+}

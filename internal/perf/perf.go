@@ -1,0 +1,254 @@
+// Package perf defines the repo's standardized performance-trajectory
+// snapshot — the BENCH_<n>.json files — and the comparison logic that
+// gates regressions.
+//
+// A snapshot is one run of the pinned benchmark suite (cmd/clbench
+// -bench-json): engine ns/op and allocs/op, mcpool throughput at
+// fixed shard/batch configurations, and clserve-style load-generator
+// qps and latency percentiles. Snapshots are schema-versioned so a
+// later PR can extend the suite without breaking clreport
+// -bench-compare against older baselines: unknown names simply report
+// as added/removed rather than failing.
+//
+// The trajectory convention: BENCH_0.json is the checked-in baseline;
+// each perf-relevant PR appends BENCH_<n+1>.json (make bench-json
+// picks the next free index), so the history of the hot path is
+// diffable in-repo and CI can gate any new snapshot against the
+// baseline.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// SchemaVersion is the current snapshot schema. Readers accept any
+// version they know how to interpret; writers always emit the
+// current one.
+const SchemaVersion = 1
+
+// Result is one benchmark's numbers. NsPerOp is the primary
+// regression-gated metric; AllocsPerOp is gated too (and is
+// machine-independent, so it is the stable signal on noisy CI
+// hardware). OpsPerSec is informational for throughput benches, and
+// Extra carries suite-specific readings (latency percentiles, hit
+// rates) that are reported but never gated.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	OpsPerSec   float64            `json:"ops_per_sec,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Snapshot is one BENCH_<n>.json: environment identity plus the
+// pinned suite's results.
+type Snapshot struct {
+	Schema   int      `json:"schema"`
+	Suite    string   `json:"suite"`
+	Created  string   `json:"created,omitempty"` // RFC3339; informational only
+	Go       string   `json:"go"`
+	OS       string   `json:"os"`
+	Arch     string   `json:"arch"`
+	MaxProcs int      `json:"maxprocs"`
+	Quick    bool     `json:"quick,omitempty"` // reduced measurement windows
+	Results  []Result `json:"results"`
+}
+
+// Validate rejects snapshots bench-compare cannot interpret.
+func (s Snapshot) Validate() error {
+	if s.Schema <= 0 || s.Schema > SchemaVersion {
+		return fmt.Errorf("perf: unsupported schema %d (this build understands <= %d)", s.Schema, SchemaVersion)
+	}
+	if len(s.Results) == 0 {
+		return fmt.Errorf("perf: snapshot has no results")
+	}
+	seen := make(map[string]bool, len(s.Results))
+	for _, r := range s.Results {
+		if r.Name == "" {
+			return fmt.Errorf("perf: result with empty name")
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("perf: duplicate result %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	return nil
+}
+
+// Write renders the snapshot as indented JSON.
+func (s Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteFile writes the snapshot to path.
+func (s Snapshot) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = s.Write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Read parses and validates a snapshot.
+func Read(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("perf: parsing snapshot: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Snapshot{}, err
+	}
+	return s, nil
+}
+
+// ReadFile reads and validates the snapshot at path.
+func ReadFile(path string) (Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	defer f.Close()
+	s, err := Read(f)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Delta is one (benchmark, metric) comparison between two snapshots.
+// Pct is the relative change in the regression direction: positive
+// means worse (slower, more allocs, less throughput), negative means
+// better.
+type Delta struct {
+	Name   string
+	Metric string // "ns/op", "allocs/op", "ops/sec"
+	Old    float64
+	New    float64
+	Pct    float64
+	Gated  bool // counts toward the regression verdict
+}
+
+// Compare lines the two snapshots up benchmark by benchmark. Gated
+// metrics are ns/op and allocs/op; ops/sec is reported (inverted so
+// positive still means worse) but not gated, since it restates ns/op
+// for throughput benches. Benchmarks present in only one snapshot are
+// skipped — the suite is allowed to grow.
+func Compare(old, new Snapshot) []Delta {
+	oldBy := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	var out []Delta
+	for _, nr := range new.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			continue
+		}
+		out = append(out, Delta{
+			Name: nr.Name, Metric: "ns/op",
+			Old: or.NsPerOp, New: nr.NsPerOp,
+			Pct: relChange(or.NsPerOp, nr.NsPerOp), Gated: true,
+		})
+		out = append(out, Delta{
+			Name: nr.Name, Metric: "allocs/op",
+			Old: or.AllocsPerOp, New: nr.AllocsPerOp,
+			Pct: relChange(or.AllocsPerOp, nr.AllocsPerOp), Gated: true,
+		})
+		if or.OpsPerSec > 0 && nr.OpsPerSec > 0 {
+			out = append(out, Delta{
+				Name: nr.Name, Metric: "ops/sec",
+				Old: or.OpsPerSec, New: nr.OpsPerSec,
+				// Throughput regresses downward; flip the sign so
+				// positive means worse everywhere.
+				Pct: relChange(nr.OpsPerSec, or.OpsPerSec),
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+// relChange is (new-old)/old with the zero-baseline edge cases
+// pinned: 0 -> 0 is no change; 0 -> x is an infinite regression
+// (something that never happened now does — e.g. allocs/op climbing
+// off zero), reported as +Inf so thresholds always trip.
+func relChange(old, new float64) float64 {
+	if old == new {
+		return 0
+	}
+	if old == 0 {
+		return math.Inf(1)
+	}
+	return (new - old) / old
+}
+
+// Missing reports suite drift: names in old absent from new, and
+// names in new absent from old.
+func Missing(old, new Snapshot) (removed, added []string) {
+	newBy := make(map[string]bool, len(new.Results))
+	for _, r := range new.Results {
+		newBy[r.Name] = true
+	}
+	oldBy := make(map[string]bool, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Name] = true
+		if !newBy[r.Name] {
+			removed = append(removed, r.Name)
+		}
+	}
+	for _, r := range new.Results {
+		if !oldBy[r.Name] {
+			added = append(added, r.Name)
+		}
+	}
+	sort.Strings(removed)
+	sort.Strings(added)
+	return removed, added
+}
+
+// Verdict grades a comparison against warn/fail thresholds
+// (fractions: 0.25 = 25%). A fail threshold <= 0 disables hard
+// failure; gating looks only at Gated deltas.
+type Verdict struct {
+	Warns []Delta
+	Fails []Delta
+}
+
+// Grade buckets every gated delta: Pct > fail is a failure, Pct >
+// warn a warning. Ungated deltas never appear in the verdict.
+func Grade(deltas []Delta, warn, fail float64) Verdict {
+	var v Verdict
+	for _, d := range deltas {
+		if !d.Gated {
+			continue
+		}
+		switch {
+		case fail > 0 && d.Pct > fail:
+			v.Fails = append(v.Fails, d)
+		case warn > 0 && d.Pct > warn:
+			v.Warns = append(v.Warns, d)
+		}
+	}
+	return v
+}
+
+// OK reports whether the verdict allows the gate to pass.
+func (v Verdict) OK() bool { return len(v.Fails) == 0 }

@@ -1,0 +1,122 @@
+package perf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func snap(results ...Result) Snapshot {
+	return Snapshot{
+		Schema: SchemaVersion, Suite: "counterlight-bench",
+		Go: "go1.24", OS: "linux", Arch: "amd64", MaxProcs: 8,
+		Results: results,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := snap(
+		Result{Name: "engine/read_hit", Iterations: 1000, NsPerOp: 1234.5, AllocsPerOp: 0},
+		Result{Name: "mcpool/throughput_s8b32", NsPerOp: 900, AllocsPerOp: 3.5, OpsPerSec: 1.1e6,
+			Extra: map[string]float64{"p99_ns": 50000}},
+	)
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || len(got.Results) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Results[1].Extra["p99_ns"] != 50000 {
+		t.Error("extra metrics lost in round trip")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Snapshot
+		want string
+	}{
+		{"future schema", Snapshot{Schema: SchemaVersion + 1, Results: []Result{{Name: "a"}}}, "unsupported schema"},
+		{"zero schema", Snapshot{Results: []Result{{Name: "a"}}}, "unsupported schema"},
+		{"empty", Snapshot{Schema: 1}, "no results"},
+		{"unnamed", Snapshot{Schema: 1, Results: []Result{{}}}, "empty name"},
+		{"duplicate", Snapshot{Schema: 1, Results: []Result{{Name: "a"}, {Name: "a"}}}, "duplicate"},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err %v, want containing %q", c.name, err, c.want)
+		}
+	}
+	if err := snap(Result{Name: "a"}).Validate(); err != nil {
+		t.Errorf("valid snapshot rejected: %v", err)
+	}
+}
+
+func TestCompareAndGrade(t *testing.T) {
+	old := snap(
+		Result{Name: "engine/read_hit", NsPerOp: 1000, AllocsPerOp: 0},
+		Result{Name: "engine/write", NsPerOp: 2000, AllocsPerOp: 4},
+		Result{Name: "mcpool/tp", NsPerOp: 500, AllocsPerOp: 2, OpsPerSec: 2e6},
+		Result{Name: "gone", NsPerOp: 1, AllocsPerOp: 0},
+	)
+	new := snap(
+		Result{Name: "engine/read_hit", NsPerOp: 1400, AllocsPerOp: 1}, // 40% slower AND allocs off zero
+		Result{Name: "engine/write", NsPerOp: 2200, AllocsPerOp: 4},    // 10% slower
+		Result{Name: "mcpool/tp", NsPerOp: 450, AllocsPerOp: 2, OpsPerSec: 2.2e6},
+		Result{Name: "fresh", NsPerOp: 9, AllocsPerOp: 0},
+	)
+	deltas := Compare(old, new)
+
+	find := func(name, metric string) Delta {
+		for _, d := range deltas {
+			if d.Name == name && d.Metric == metric {
+				return d
+			}
+		}
+		t.Fatalf("missing delta %s %s", name, metric)
+		return Delta{}
+	}
+	if d := find("engine/read_hit", "ns/op"); math.Abs(d.Pct-0.4) > 1e-9 || !d.Gated {
+		t.Errorf("read_hit ns/op delta %+v", d)
+	}
+	if d := find("engine/read_hit", "allocs/op"); !math.IsInf(d.Pct, 1) {
+		t.Errorf("allocs climbing off zero should be +Inf, got %v", d.Pct)
+	}
+	if d := find("mcpool/tp", "ops/sec"); d.Gated || d.Pct > 0 {
+		t.Errorf("throughput improvement should be ungated and negative: %+v", d)
+	}
+
+	removed, added := Missing(old, new)
+	if len(removed) != 1 || removed[0] != "gone" || len(added) != 1 || added[0] != "fresh" {
+		t.Errorf("missing: removed=%v added=%v", removed, added)
+	}
+
+	v := Grade(deltas, 0.10, 0.25)
+	if v.OK() {
+		t.Error("40% + Inf regressions should fail")
+	}
+	if len(v.Fails) != 2 { // read_hit ns/op and allocs/op
+		t.Errorf("fails %+v, want 2", v.Fails)
+	}
+	// engine/write at exactly 10%: not strictly greater, so no warning;
+	// 10.0001% would warn. Pin the boundary.
+	for _, w := range v.Warns {
+		if w.Name == "engine/write" {
+			t.Errorf("exact-threshold delta should not warn: %+v", w)
+		}
+	}
+
+	// Fail disabled: everything downgrades below fail.
+	v = Grade(deltas, 0.10, 0)
+	if !v.OK() {
+		t.Error("fail<=0 must disable hard failure")
+	}
+}
