@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet fmt check checkers concurrent-race serve bench bench-json fuzz clean
+.PHONY: build test test-backends race vet fmt check checkers concurrent-race serve bench bench-json fuzz clean
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,15 @@ fuzz:
 	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzMetadataDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzEccRecovery -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/entropy -run '^$$' -fuzz FuzzEntropyClassifier -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cipher -run '^$$' -fuzz FuzzCipherBackends -fuzztime $(FUZZTIME)
+
+# Tier-1 suite under every AES backend (CL_CIPHER is the process
+# default each engine inherits); all three are bit-exact, so any
+# backend-dependent failure is a batching/backend bug.
+test-backends:
+	CL_CIPHER=ref $(GO) test ./internal/cipher ./internal/core ./internal/mcpool
+	CL_CIPHER=ttable $(GO) test ./...
+	CL_CIPHER=stdlib $(GO) test ./...
 
 clean:
 	$(GO) clean ./...

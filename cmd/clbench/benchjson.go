@@ -9,6 +9,8 @@ import (
 
 	"counterlight/internal/cipher"
 	"counterlight/internal/core"
+	"counterlight/internal/crypto/aes"
+	"counterlight/internal/crypto/mix"
 	"counterlight/internal/epoch"
 	"counterlight/internal/mcpool"
 	"counterlight/internal/obs"
@@ -62,12 +64,15 @@ func benchSuite(quick bool) (perf.Snapshot, error) {
 		OS:       runtime.GOOS,
 		Arch:     runtime.GOARCH,
 		MaxProcs: runtime.GOMAXPROCS(0),
+		Cipher:   aes.DefaultBackend(),
 		Quick:    quick,
 	}
 	benches := []struct {
 		name string
 		run  func(time.Duration) (perf.Result, error)
 	}{
+		{"cipher/pad_single", benchPadSingle},
+		{"cipher/pad_batch32", benchPadBatch},
 		{"engine/read_hit", benchEngineRead},
 		{"engine/write_counter", benchEngineWrite(epoch.CounterMode)},
 		{"engine/write_counterless", benchEngineWrite(epoch.Counterless)},
@@ -107,6 +112,70 @@ func measureLoop(window time.Duration, fn func(n int)) (iters int64, nsPerOp flo
 		}
 		n = next
 	}
+}
+
+// benchCounterMode builds the pad-generation cipher on the process
+// default backend — the unit under test for the cipher/* benches.
+func benchCounterMode() (*cipher.CounterMode, error) {
+	key := make([]byte, 16)
+	key[0] = 0x03
+	return cipher.NewCounterMode(key, 0x5eed0fc0de15BAD1, nil)
+}
+
+// benchPadSingle measures one PadWithMAC derivation — six AES blocks
+// through one batched EncryptBlocks call, the per-read OTP cost.
+func benchPadSingle(window time.Duration) (perf.Result, error) {
+	cm, err := benchCounterMode()
+	if err != nil {
+		return perf.Result{}, err
+	}
+	var ctr uint64
+	iters, ns := measureLoop(window, func(n int) {
+		for i := 0; i < n; i++ {
+			ctr++
+			cm.PadWithMAC(ctr, uint64(i%1024)*64)
+		}
+	})
+	allocs := testing.AllocsPerRun(100, func() {
+		ctr++
+		cm.PadWithMAC(ctr, 64)
+	})
+	return perf.Result{Iterations: iters, NsPerOp: ns, AllocsPerOp: allocs}, nil
+}
+
+// benchPadBatch measures PadBatch at the mcpool precompute shape (32
+// pads per call) and reports per-pad cost, so the delta against
+// cipher/pad_single is the batching win.
+func benchPadBatch(window time.Duration) (perf.Result, error) {
+	cm, err := benchCounterMode()
+	if err != nil {
+		return perf.Result{}, err
+	}
+	const batch = 32
+	counters := make([]uint64, batch)
+	addrs := make([]uint64, batch)
+	pads := make([]cipher.Block, batch)
+	otps := make([]mix.Word, batch)
+	var s cipher.BatchScratch
+	var ctr uint64
+	fill := func() {
+		for j := 0; j < batch; j++ {
+			ctr++
+			counters[j] = ctr
+			addrs[j] = uint64(j) * 64
+		}
+	}
+	iters, ns := measureLoop(window, func(n int) {
+		for i := 0; i < n; i += batch {
+			fill()
+			cm.PadBatch(counters, addrs, pads, otps, &s)
+		}
+	})
+	allocs := testing.AllocsPerRun(100, func() {
+		fill()
+		cm.PadBatch(counters, addrs, pads, otps, &s)
+	})
+	return perf.Result{Iterations: iters, NsPerOp: ns, AllocsPerOp: allocs / batch}, nil
 }
 
 // benchEngine sizes one engine for the microbenchmarks: big enough
@@ -233,7 +302,8 @@ func benchPoolThroughput(shards, batchMax int) func(time.Duration) (perf.Result,
 }
 
 // poolAllocsPerOp measures the steady-state allocation cost of one
-// submit→wait round trip on an already-warm pool.
+// submit→wait round trip on an already-warm pool, via the pooled
+// synchronous path clserve drives (zero is the contract).
 func poolAllocsPerOp(pool *mcpool.Pool) float64 {
 	var req mcpool.Request
 	req.Kind = mcpool.OpWrite
@@ -242,11 +312,7 @@ func poolAllocsPerOp(pool *mcpool.Pool) float64 {
 		req.Addr = (i % 1024) * 64
 		req.Data[0] = byte(i)
 		i++
-		fut, err := pool.Submit(req)
-		if err != nil {
-			return
-		}
-		fut.Wait()
+		pool.SubmitWait(req)
 	})
 }
 
@@ -294,11 +360,7 @@ func benchSubmitWait(window time.Duration) (perf.Result, error) {
 				req = mcpool.Request{Kind: mcpool.OpWrite, Addr: uint64(i%blocks) * 64, Auto: true, Data: data}
 			}
 			t0 := time.Now()
-			fut, err := pool.Submit(req)
-			if err != nil {
-				return perf.Result{}, err
-			}
-			resp := fut.Wait()
+			resp := pool.SubmitWait(req)
 			latency.Add(time.Since(t0).Nanoseconds())
 			if resp.Err != nil {
 				return perf.Result{}, resp.Err
@@ -311,9 +373,10 @@ func benchSubmitWait(window time.Duration) (perf.Result, error) {
 	}
 	ns := float64(elapsed.Nanoseconds()) / float64(ops)
 	return perf.Result{
-		Iterations: ops,
-		NsPerOp:    ns,
-		OpsPerSec:  1e9 / ns,
+		Iterations:  ops,
+		NsPerOp:     ns,
+		AllocsPerOp: poolAllocsPerOp(pool),
+		OpsPerSec:   1e9 / ns,
 		Extra: map[string]float64{
 			"p50_ns": float64(latency.Quantile(0.50)),
 			"p95_ns": float64(latency.Quantile(0.95)),

@@ -10,6 +10,7 @@
 //	clcheck -campaign faults.json -tokens repros.txt
 //	clcheck -repro Y2xrMQZhZXMxMjgB...
 //	clcheck -seeds 4 -schemes
+//	clcheck -seeds 64 -cipher stdlib  # engines on hardware-class AES, oracle on ref
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"counterlight/internal/check"
+	"counterlight/internal/crypto/aes"
 	"counterlight/internal/figures"
 	"counterlight/internal/obs"
 )
@@ -37,7 +39,15 @@ func main() {
 	schemes := flag.Bool("schemes", false, "also sweep every registered timing scheme's Result invariants over the seeds")
 	metricsFile := flag.String("metrics", "", "write a Prometheus-text snapshot of the campaign counters to this file")
 	tokensFile := flag.String("tokens", "", "write minimized repro tokens (one per line) to this file on divergence")
+	cipherName := flag.String("cipher", "", "AES backend the engines under test run on: ref | ttable | stdlib (the oracle always recomputes through ref)")
 	flag.Parse()
+
+	if *cipherName != "" {
+		if err := aes.SetDefaultBackend(*cipherName); err != nil {
+			fmt.Fprintf(os.Stderr, "clcheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	if *repro != "" {
 		os.Exit(replayToken(*repro))

@@ -32,6 +32,10 @@ func benchCompare(oldPath, newPath string, warn, fail float64) int {
 	if old.Quick != new.Quick {
 		fmt.Println("  note: quick/full measurement windows differ between snapshots; expect extra noise")
 	}
+	if old.Cipher != new.Cipher {
+		fmt.Printf("  note: AES backends differ (%s -> %s); ns/op deltas include the backend change\n",
+			cipherName(old), cipherName(new))
+	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
 	fmt.Fprintln(tw, "  benchmark\tmetric\told\tnew\tdelta\t")
@@ -68,7 +72,16 @@ func envLine(s perf.Snapshot) string {
 	if s.Quick {
 		q = ", quick"
 	}
-	return fmt.Sprintf("%s %s/%s p%d%s", s.Go, s.OS, s.Arch, s.MaxProcs, q)
+	return fmt.Sprintf("%s %s/%s p%d aes:%s%s", s.Go, s.OS, s.Arch, s.MaxProcs, cipherName(s), q)
+}
+
+// cipherName reads the snapshot's AES backend; schema-1 snapshots
+// predate the seam, when the T-table path was the only one.
+func cipherName(s perf.Snapshot) string {
+	if s.Cipher == "" {
+		return "ttable"
+	}
+	return s.Cipher
 }
 
 func metricValue(metric string, v float64) string {

@@ -12,6 +12,7 @@
 //	clserve -addr :8080            # monitoring server: /metrics, /metrics.json, /api/attrib
 //	clserve -attrib                # per-op latency attribution breakdown at exit
 //	clserve -metrics-json final.json  # dump the full registry on clean shutdown
+//	clserve -cipher stdlib         # hardware-class AES on every shard engine
 //	clserve -duration 0            # run until interrupted
 package main
 
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"counterlight/internal/core"
+	"counterlight/internal/crypto/aes"
 	"counterlight/internal/mcpool"
 	"counterlight/internal/obs"
 	"counterlight/internal/obs/serve"
@@ -47,7 +49,15 @@ func main() {
 	addr := flag.String("addr", "", "serve the monitoring server (/metrics, /metrics.json, /api/attrib, pprof) on this address while running")
 	attrib := flag.Bool("attrib", false, "enable per-op latency attribution and print the queue/batch/service/writeback breakdown at exit")
 	metricsJSON := flag.String("metrics-json", "", "write the final metrics registry as JSON to this path on clean shutdown (clreport -compare input)")
+	cipherName := flag.String("cipher", "", "AES backend for every shard engine: ref | ttable | stdlib (empty = $CL_CIPHER, else ttable)")
 	flag.Parse()
+
+	if *cipherName != "" {
+		if err := aes.SetDefaultBackend(*cipherName); err != nil {
+			fmt.Fprintln(os.Stderr, "clserve:", err)
+			os.Exit(2)
+		}
+	}
 
 	if code := run(*conns, *qps, *duration, *shards, *queue, *batch, *watermark,
 		*blocks, *readFrac, *seed, *csvPath, *addr, *attrib, *metricsJSON); code != 0 {
@@ -275,11 +285,10 @@ func connection(ctx context.Context, pool *mcpool.Pool, latency *obs.Histogram, 
 			written = append(written, addr)
 		}
 		start := time.Now()
-		fut, err := pool.Submit(req)
-		if err != nil {
-			return fmt.Errorf("connection %d: %w", cfg.id, err)
-		}
-		resp := fut.Wait()
+		// SubmitWait is the pooled synchronous path: zero allocations
+		// per request in steady state (no future), so sustained load
+		// doesn't feed the GC.
+		resp := pool.SubmitWait(req)
 		latency.Add(time.Since(start).Nanoseconds())
 		if resp.Err != nil {
 			return fmt.Errorf("connection %d: %w", cfg.id, resp.Err)

@@ -159,8 +159,11 @@ func (c *checker) write(op Op) *Divergence {
 		if ctrNow != prevCtr {
 			return div("counter-moved", "counterless write moved counter %d -> %d at %#x", prevCtr, ctrNow, addr)
 		}
-		// Independent recomputation through the VM's own key.
-		cls := c.e.CounterlessCipher(vm)
+		// Independent recomputation through the VM's own key — on the
+		// reference AES backend, so an engine running a fast backend
+		// (ttable, stdlib) is checked against a genuinely independent
+		// implementation rather than against itself.
+		cls := c.e.ReferenceCounterlessCipher(vm)
 		ct := cls.Encrypt(addr, plain)
 		mac := cls.MAC(addr, ct, uint32(ctrblock.CounterlessFlag))
 		if want := ecc.Encode(ct, mac, ctrblock.CounterlessFlag); cw != want {
@@ -184,8 +187,9 @@ func (c *checker) write(op Op) *Divergence {
 		if ctrNow > c.limit {
 			return div("counter-over-limit", "counter %d exceeds limit %d at %#x", ctrNow, c.limit, addr)
 		}
-		// Independent recomputation through the global counter key.
-		cm := c.e.CounterCipher()
+		// Independent recomputation through the global counter key,
+		// again on the reference backend (see the counterless arm).
+		cm := c.e.ReferenceCounterCipher()
 		ct := cm.Encrypt(meta, addr, plain)
 		mac := cm.MAC(meta, addr, plain, ctrNow)
 		if want := ecc.Encode(ct, mac, meta); cw != want {

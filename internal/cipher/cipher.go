@@ -12,6 +12,18 @@
 //     of a truncated OTP with a GF(2^64) dot product of the plaintext
 //     (as in SGX1's MEE / Synergy).
 //
+// Both engines are parameterized by an aes.Backend (ref, ttable, or
+// stdlib — all bit-exact) and batch their AES work: one engine call
+// issues one EncryptBlocks over every block it needs, which is where a
+// hardware-class backend gets its pipelining win. The batch entry
+// points (PadBatch, TweakBatch) extend that to many memory blocks per
+// call with caller-owned buffers.
+//
+// The engines carry per-instance scratch buffers to keep the hot path
+// allocation-free, so a Counterless or CounterMode value must not be
+// used by more than one goroutine at a time (internal/core engines are
+// single-threaded; internal/mcpool serializes per shard).
+//
 // Both engines are purely functional: timing belongs to internal/core.
 package cipher
 
@@ -64,34 +76,78 @@ func (b Block) XOR(o Block) Block {
 	return b
 }
 
+// BatchScratch amortizes the intermediate AES buffers of the batch
+// entry points (PadBatch, TweakBatch). The zero value is ready to use;
+// the buffers grow to the largest batch seen and are then reused. The
+// methods never retain caller-supplied slices, but one scratch must
+// not serve two concurrent callers.
+type BatchScratch struct {
+	in, out []byte
+}
+
+// grow returns n-byte in/out views, reallocating only when the batch
+// outgrows every previous one.
+func (s *BatchScratch) grow(n int) (in, out []byte) {
+	if cap(s.in) < n {
+		s.in = make([]byte, n)
+		s.out = make([]byte, n)
+	}
+	return s.in[:n], s.out[:n]
+}
+
 // ---------------------------------------------------------------------------
 // Counterless engine (AES-XTS style)
 // ---------------------------------------------------------------------------
 
-// Counterless encrypts blocks in the counterless (XTS) mode.
+// Counterless encrypts blocks in the counterless (XTS) mode. It is not
+// safe for concurrent use: the batch scratch is per-instance.
 type Counterless struct {
-	dataKey  *aes.Cipher
-	tweakKey *aes.Cipher
+	dataKey  aes.Backend
+	tweakKey aes.Backend
+	backend  string
 	macKey   []byte
+
+	// Scratch for the four-word batched data AES and the single-block
+	// tweak AES of one Encrypt/Decrypt call.
+	sin, sout [BlockSize]byte
+	tin, tout [16]byte
 }
 
-// NewCounterless builds a counterless engine. dataKey and tweakKey
-// must be valid AES key lengths (16, 24, or 32 bytes); both halves of
-// the XTS key pair conventionally have the same size.
+// NewCounterless builds a counterless engine on the process-default
+// AES backend. dataKey and tweakKey must be valid AES key lengths (16,
+// 24, or 32 bytes); both halves of the XTS key pair conventionally
+// have the same size.
 func NewCounterless(dataKey, tweakKey, macKey []byte) (*Counterless, error) {
-	dk, err := aes.New(dataKey)
+	return NewCounterlessBackend("", dataKey, tweakKey, macKey)
+}
+
+// NewCounterlessBackend is NewCounterless on an explicit AES backend
+// (empty selects the process default, aes.DefaultBackend).
+func NewCounterlessBackend(backend string, dataKey, tweakKey, macKey []byte) (*Counterless, error) {
+	if backend == "" {
+		backend = aes.DefaultBackend()
+	}
+	dk, err := aes.NewBackend(backend, dataKey)
 	if err != nil {
 		return nil, fmt.Errorf("cipher: data key: %w", err)
 	}
-	tk, err := aes.New(tweakKey)
+	tk, err := aes.NewBackend(backend, tweakKey)
 	if err != nil {
 		return nil, fmt.Errorf("cipher: tweak key: %w", err)
 	}
 	if len(macKey) == 0 {
 		return nil, fmt.Errorf("cipher: empty MAC key")
 	}
-	return &Counterless{dataKey: dk, tweakKey: tk, macKey: append([]byte(nil), macKey...)}, nil
+	return &Counterless{
+		dataKey:  dk,
+		tweakKey: tk,
+		backend:  backend,
+		macKey:   append([]byte(nil), macKey...),
+	}, nil
 }
+
+// Backend reports the AES backend name this engine runs on.
+func (c *Counterless) Backend() string { return c.backend }
 
 // Rounds reports the AES round count of the data cipher, which drives
 // the latency model (10 for AES-128, 14 for AES-256).
@@ -101,15 +157,41 @@ func (c *Counterless) Rounds() int { return c.dataKey.Rounds() }
 // per-word tweaks T_j = T ⊗ α^j in GF(2^128) (Fig. 2a's
 // "Tweak(Address) ⊗ α^j").
 func (c *Counterless) tweaks(addr uint64) [WordsPerBlock][16]byte {
-	var in [16]byte
-	binary.LittleEndian.PutUint64(in[:], addr/BlockSize)
-	t := c.tweakKey.EncryptBlock(in)
+	c.tin = [16]byte{}
+	binary.LittleEndian.PutUint64(c.tin[:], addr/BlockSize)
+	c.tweakKey.Encrypt(c.tout[:], c.tin[:])
+	t := c.tout
 	var out [WordsPerBlock][16]byte
 	for j := 0; j < WordsPerBlock; j++ {
 		out[j] = t
 		t = mulAlpha(t)
 	}
 	return out
+}
+
+// TweakBatch fills tweaks[i] with the per-word tweaks of the block at
+// addrs[i], batching every tweak-key AES into one EncryptBlocks call.
+// tweaks is caller-owned (len >= len(addrs)); s amortizes the AES
+// buffers and no slice is retained.
+func (c *Counterless) TweakBatch(addrs []uint64, tweaks [][WordsPerBlock][16]byte, s *BatchScratch) {
+	if len(tweaks) < len(addrs) {
+		panic("cipher: TweakBatch output shorter than input")
+	}
+	in, out := s.grow(len(addrs) * 16)
+	for i, addr := range addrs {
+		for k := 0; k < 16; k++ {
+			in[16*i+k] = 0
+		}
+		binary.LittleEndian.PutUint64(in[16*i:], addr/BlockSize)
+	}
+	c.tweakKey.EncryptBlocks(out, in)
+	for i := range addrs {
+		t := [16]byte(out[16*i : 16*i+16])
+		for j := 0; j < WordsPerBlock; j++ {
+			tweaks[i][j] = t
+			t = mulAlpha(t)
+		}
+	}
 }
 
 // mulAlpha doubles a 16-byte value in GF(2^128) with the XTS
@@ -128,20 +210,21 @@ func mulAlpha(t [16]byte) [16]byte {
 }
 
 // Encrypt encrypts a block stored at byte address addr:
-// C_j = AES_k1(P_j ⊕ T_j) ⊕ T_j for each 16-byte word.
+// C_j = AES_k1(P_j ⊕ T_j) ⊕ T_j for each 16-byte word. All four word
+// AES computations go out as one batch.
 func (c *Counterless) Encrypt(addr uint64, plain Block) Block {
 	tw := c.tweaks(addr)
+	for j := 0; j < WordsPerBlock; j++ {
+		for i := 0; i < 16; i++ {
+			c.sin[16*j+i] = plain[16*j+i] ^ tw[j][i]
+		}
+	}
+	c.dataKey.EncryptBlocks(c.sout[:], c.sin[:])
 	var ct Block
 	for j := 0; j < WordsPerBlock; j++ {
-		w := plain.Word(j)
-		for i := range w {
-			w[i] ^= tw[j][i]
+		for i := 0; i < 16; i++ {
+			ct[16*j+i] = c.sout[16*j+i] ^ tw[j][i]
 		}
-		w = c.dataKey.EncryptBlock(w)
-		for i := range w {
-			w[i] ^= tw[j][i]
-		}
-		ct.SetWord(j, w)
 	}
 	return ct
 }
@@ -151,17 +234,17 @@ func (c *Counterless) Encrypt(addr uint64, plain Block) Block {
 // paper characterizes in §III.
 func (c *Counterless) Decrypt(addr uint64, ct Block) Block {
 	tw := c.tweaks(addr)
+	for j := 0; j < WordsPerBlock; j++ {
+		for i := 0; i < 16; i++ {
+			c.sin[16*j+i] = ct[16*j+i] ^ tw[j][i]
+		}
+	}
+	c.dataKey.DecryptBlocks(c.sout[:], c.sin[:])
 	var plain Block
 	for j := 0; j < WordsPerBlock; j++ {
-		w := ct.Word(j)
-		for i := range w {
-			w[i] ^= tw[j][i]
+		for i := 0; i < 16; i++ {
+			plain[16*j+i] = c.sout[16*j+i] ^ tw[j][i]
 		}
-		w = c.dataKey.DecryptBlock(w)
-		for i := range w {
-			w[i] ^= tw[j][i]
-		}
-		plain.SetWord(j, w)
 	}
 	return plain
 }
@@ -186,20 +269,42 @@ func (c *Counterless) MAC(addr uint64, ct Block, encMeta uint32) uint64 {
 // RMCC; mix.Nonlinear is Counter-light's hardened variant.
 type Combiner func(counterAES, addrAES mix.Word) mix.Word
 
+// padBlocks is the AES block count of one full pad derivation: the
+// counter block, one block per data word, and the MAC's dedicated OTP
+// word (index WordsPerBlock).
+const padBlocks = WordsPerBlock + 2
+
 // CounterMode encrypts blocks with a counter-derived one-time pad.
 // Per §IV-D, a single global key serves all VMs in counter mode, which
-// is what makes the AES memoization table viable.
+// is what makes the AES memoization table viable. It is not safe for
+// concurrent use: the pad scratch is per-instance.
 type CounterMode struct {
-	key     *aes.Cipher
+	key     aes.Backend
+	backend string
 	macKeys []uint64
 	combine Combiner
+
+	// Scratch for one pad derivation (pin/pout) and for the
+	// single-block CounterAES/AddrAES entry points (ain/aout).
+	pin, pout [padBlocks * 16]byte
+	ain, aout [16]byte
 }
 
-// NewCounterMode builds a counter-mode engine. key must be a valid AES
-// key; macSecret seeds the GF(2^64) dot-product key schedule; combine
-// selects the OTP combining logic (nil means mix.Nonlinear).
+// NewCounterMode builds a counter-mode engine on the process-default
+// AES backend. key must be a valid AES key; macSecret seeds the
+// GF(2^64) dot-product key schedule; combine selects the OTP combining
+// logic (nil means mix.Nonlinear).
 func NewCounterMode(key []byte, macSecret uint64, combine Combiner) (*CounterMode, error) {
-	k, err := aes.New(key)
+	return NewCounterModeBackend("", key, macSecret, combine)
+}
+
+// NewCounterModeBackend is NewCounterMode on an explicit AES backend
+// (empty selects the process default, aes.DefaultBackend).
+func NewCounterModeBackend(backend string, key []byte, macSecret uint64, combine Combiner) (*CounterMode, error) {
+	if backend == "" {
+		backend = aes.DefaultBackend()
+	}
+	k, err := aes.NewBackend(backend, key)
 	if err != nil {
 		return nil, fmt.Errorf("cipher: counter-mode key: %w", err)
 	}
@@ -208,33 +313,51 @@ func NewCounterMode(key []byte, macSecret uint64, combine Combiner) (*CounterMod
 	}
 	return &CounterMode{
 		key:     k,
+		backend: backend,
 		macKeys: gf.KeySchedule(macSecret, 9), // 8 data words + 1 metadata word
 		combine: combine,
 	}, nil
 }
 
+// Backend reports the AES backend name this engine runs on.
+func (c *CounterMode) Backend() string { return c.backend }
+
 // Rounds reports the AES round count (latency model input).
 func (c *CounterMode) Rounds() int { return c.key.Rounds() }
+
+// putPadInput serializes one AES input block: the 64-bit value, zero
+// padding, and the domain-separator byte.
+func putPadInput(dst []byte, v uint64, domain byte) {
+	binary.LittleEndian.PutUint64(dst[0:8], v)
+	for i := 8; i < 15; i++ {
+		dst[i] = 0
+	}
+	dst[15] = domain
+}
+
+// Domain separators of the two AES input classes (Fig. 4).
+const (
+	domainCounter = 0xC7 // counter input
+	domainAddr    = 0xAD // address input
+)
 
 // CounterAES is the counter-only AES of Fig. 4: AES over the padded
 // counter value. Its results are what the memoization table stores —
 // a single counter value's result serves every block that currently
 // holds that counter value.
 func (c *CounterMode) CounterAES(counter uint64) mix.Word {
-	var in [16]byte
-	binary.LittleEndian.PutUint64(in[:], counter)
-	in[15] = 0xC7 // domain separator: counter input
-	return mix.FromBytes(c.key.EncryptBlock(in))
+	putPadInput(c.ain[:], counter, domainCounter)
+	c.key.Encrypt(c.aout[:], c.ain[:])
+	return mix.FromBytes(c.aout)
 }
 
 // AddrAES is the address-only AES of Fig. 4 for one 16-byte word
 // address. It depends only on the address, so hardware computes it
 // while the data is in flight.
 func (c *CounterMode) AddrAES(wordAddr uint64) mix.Word {
-	var in [16]byte
-	binary.LittleEndian.PutUint64(in[:], wordAddr)
-	in[15] = 0xAD // domain separator: address input
-	return mix.FromBytes(c.key.EncryptBlock(in))
+	putPadInput(c.ain[:], wordAddr, domainAddr)
+	c.key.Encrypt(c.aout[:], c.ain[:])
+	return mix.FromBytes(c.aout)
 }
 
 // OTP produces the one-time pad for word j of the block at addr,
@@ -243,15 +366,83 @@ func (c *CounterMode) OTP(counter, addr uint64, j int) mix.Word {
 	return c.combine(c.CounterAES(counter), c.AddrAES(addr+uint64(16*j)))
 }
 
-// Pad returns the full 64-byte pad for a block.
-func (c *CounterMode) Pad(counter, addr uint64) Block {
-	var pad Block
-	ctrAES := c.CounterAES(counter)
+// fillPadInputs writes the n AES input blocks of one pad derivation
+// into dst: the counter block, then word addresses addr, addr+16, ...
+// (block WordsPerBlock+1, when requested, is the MAC's dedicated OTP
+// word at addr+16*WordsPerBlock).
+func fillPadInputs(dst []byte, counter, addr uint64, n int) {
+	putPadInput(dst[0:16], counter, domainCounter)
+	for j := 1; j < n; j++ {
+		putPadInput(dst[16*j:16*j+16], addr+uint64(16*(j-1)), domainAddr)
+	}
+}
+
+// padInto derives the block pad (and, when macOTP is non-nil, the
+// MAC's dedicated OTP word) with a single batched AES call.
+func (c *CounterMode) padInto(pad *Block, counter, addr uint64, macOTP *mix.Word) {
+	n := 1 + WordsPerBlock
+	if macOTP != nil {
+		n = padBlocks
+	}
+	fillPadInputs(c.pin[:16*n], counter, addr, n)
+	c.key.EncryptBlocks(c.pout[:16*n], c.pin[:16*n])
+	ctrAES := mix.FromBytes([16]byte(c.pout[0:16]))
 	for j := 0; j < WordsPerBlock; j++ {
-		w := c.combine(ctrAES, c.AddrAES(addr+uint64(16*j)))
+		w := c.combine(ctrAES, mix.FromBytes([16]byte(c.pout[16*(j+1):16*(j+2)])))
 		pad.SetWord(j, w.Bytes())
 	}
+	if macOTP != nil {
+		*macOTP = c.combine(ctrAES, mix.FromBytes([16]byte(c.pout[16*(WordsPerBlock+1):16*(WordsPerBlock+2)])))
+	}
+}
+
+// Pad returns the full 64-byte pad for a block: one batched AES over
+// the counter block and the four word-address blocks.
+func (c *CounterMode) Pad(counter, addr uint64) Block {
+	var pad Block
+	c.padInto(&pad, counter, addr, nil)
 	return pad
+}
+
+// PadWithMAC returns the block pad plus the MAC's dedicated OTP word
+// (OTP(counter, addr, WordsPerBlock)) from one six-block batched AES
+// call — everything a verified counter-mode read needs.
+func (c *CounterMode) PadWithMAC(counter, addr uint64) (Block, mix.Word) {
+	var pad Block
+	var macOTP mix.Word
+	c.padInto(&pad, counter, addr, &macOTP)
+	return pad, macOTP
+}
+
+// PadBatch fills pads[i] — and macOTPs[i], when macOTPs is non-nil —
+// for each (counters[i], addrs[i]) pair, batching the whole batch's
+// AES (six blocks per pair) into one EncryptBlocks call. pads and
+// macOTPs are caller-owned (len >= len(counters)); s amortizes the AES
+// buffers. No caller slice is retained.
+func (c *CounterMode) PadBatch(counters, addrs []uint64, pads []Block, macOTPs []mix.Word, s *BatchScratch) {
+	n := len(counters)
+	if len(addrs) != n {
+		panic("cipher: PadBatch counters/addrs length mismatch")
+	}
+	if len(pads) < n || (macOTPs != nil && len(macOTPs) < n) {
+		panic("cipher: PadBatch output shorter than input")
+	}
+	in, out := s.grow(n * padBlocks * 16)
+	for i := 0; i < n; i++ {
+		fillPadInputs(in[i*padBlocks*16:(i+1)*padBlocks*16], counters[i], addrs[i], padBlocks)
+	}
+	c.key.EncryptBlocks(out, in)
+	for i := 0; i < n; i++ {
+		base := i * padBlocks * 16
+		ctrAES := mix.FromBytes([16]byte(out[base : base+16]))
+		for j := 0; j < WordsPerBlock; j++ {
+			w := c.combine(ctrAES, mix.FromBytes([16]byte(out[base+16*(j+1):base+16*(j+2)])))
+			pads[i].SetWord(j, w.Bytes())
+		}
+		if macOTPs != nil {
+			macOTPs[i] = c.combine(ctrAES, mix.FromBytes([16]byte(out[base+16*(WordsPerBlock+1):base+16*(WordsPerBlock+2)])))
+		}
+	}
 }
 
 // Encrypt XORs the plaintext with the pad. Decryption is identical.
@@ -274,10 +465,16 @@ func (c *CounterMode) Decrypt(counter, addr uint64, ct Block) Block {
 func (c *CounterMode) MAC(counter, addr uint64, plain Block, encMeta uint32) uint64 {
 	// A dedicated OTP word (index WordsPerBlock, beyond the data
 	// words) keeps the MAC pad independent of the data pads.
-	otp := c.OTP(counter, addr, WordsPerBlock)
+	return c.MACFromOTP(c.OTP(counter, addr, WordsPerBlock), plain, encMeta)
+}
+
+// MACFromOTP is MAC with the dedicated OTP word already in hand (the
+// last word PadWithMAC and PadBatch emit), so a verified read pays for
+// that AES exactly once.
+func (c *CounterMode) MACFromOTP(otp mix.Word, plain Block, encMeta uint32) uint64 {
 	words := plain.Words64()
-	inputs := make([]uint64, 0, 9)
-	inputs = append(inputs, words[:]...)
-	inputs = append(inputs, uint64(encMeta))
-	return otp.Lo ^ gf.DotProduct(inputs, c.macKeys)
+	var inputs [9]uint64
+	copy(inputs[:], words[:])
+	inputs[8] = uint64(encMeta)
+	return otp.Lo ^ gf.DotProduct(inputs[:], c.macKeys)
 }

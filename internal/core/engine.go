@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"counterlight/internal/cipher"
+	"counterlight/internal/crypto/aes"
+	"counterlight/internal/crypto/mix"
 	"counterlight/internal/ctrblock"
 	"counterlight/internal/ecc"
 	"counterlight/internal/entropy"
@@ -31,6 +33,11 @@ type EngineOptions struct {
 	// §IV-C saturation path: a block whose counter would exceed the
 	// limit permanently switches to counterless mode.
 	CounterLimit uint32
+	// Cipher selects the AES backend the engine's ciphers run on
+	// ("ref", "ttable", or "stdlib"; empty means the process default,
+	// aes.DefaultBackend). All backends are bit-exact, so this choice
+	// affects only host-side speed, never stored bytes or MACs.
+	Cipher string
 	// DisableCorrection skips the Fig. 14 trial-and-error correction
 	// path entirely: a failed fast-path MAC check becomes an
 	// immediate detected uncorrectable error. This is the
@@ -57,12 +64,38 @@ func DefaultEngineOptions() EngineOptions {
 // and a simulated ECC DRAM array, and moves real bytes through the
 // full encrypt/MAC/ECC pipeline of Figs. 11-14.
 type Engine struct {
-	opts EngineOptions
-	cls  []*cipher.Counterless // one per VM (§IV-D)
-	cm   *cipher.CounterMode   // single global key
-	ctrs *ctrblock.Store
-	memo *memoize.Table
-	mem  map[uint64]ecc.CodeWord // block-aligned address -> stored codeword
+	opts       EngineOptions
+	cipherName string                // resolved AES backend name
+	cls        []*cipher.Counterless // one per VM (§IV-D)
+	cm         *cipher.CounterMode   // single global key
+	ctrs       *ctrblock.Store
+	memo       *memoize.Table
+	mem        map[uint64]ecc.CodeWord // block-aligned address -> stored codeword
+
+	// refCls/refCm are lazily built reference-backend twins of the
+	// engine's ciphers (same keys, aes.BackendRef). The differential
+	// oracle recomputes through them so a broken fast backend diverges
+	// from the oracle instead of agreeing with itself.
+	refCls []*cipher.Counterless
+	refCm  *cipher.CounterMode
+
+	// padCache is a direct-mapped cache of counter-mode pads keyed by
+	// (counter, address) — the software analogue of the hardware
+	// starting the OTP AES while data is in flight. Pads are pure
+	// functions of (counter, address), so entries never go stale; a
+	// mismatch simply recomputes. It serves two reuse patterns: the
+	// MAC check and the decrypt of one read share a single pad
+	// derivation, and mcpool's batch precompute (PrecomputeReadPads)
+	// fills slots ahead of the reads that consume them.
+	padCache [padCacheSize]padCacheEntry
+
+	// Reusable gather/output buffers for PrecomputeReadPads: the batch
+	// path must not allocate in steady state (buffers grow to the
+	// largest batch seen, then stick).
+	pcCtrs, pcAddrs []uint64
+	pcPads          []cipher.Block
+	pcOTPs          []mix.Word
+	pcScratch       cipher.BatchScratch
 
 	// permanentCounterless records blocks whose counters saturated
 	// (§IV-C) or that were mapped out of a faulty rank (§IV-E).
@@ -104,6 +137,44 @@ type EngineStats struct {
 	MACFailures          uint64 // reads whose fast-path MAC check failed
 }
 
+// padCacheSize is the number of direct-mapped pad-cache slots (a
+// power of two; 64 bytes of pad plus tags per slot ≈ 24 KB total,
+// comparable to the paper's on-chip table budgets).
+const padCacheSize = 256
+
+type padCacheEntry struct {
+	ctr, addr uint64
+	pad       cipher.Block
+	otp       mix.Word // the MAC's dedicated OTP word
+	valid     bool
+}
+
+// cmMACSecret seeds the counter-mode GF(2^64) MAC key schedule.
+const cmMACSecret = 0x5eed0fc0de15BAD1
+
+// clsMACKey is the counterless SHA-3 MAC key.
+var clsMACKey = []byte("counterless-mac-key")
+
+// clsKeysFor derives VM vm's deterministic counterless data/tweak key
+// pair; newCounterless/ReferenceCounterlessCipher must build from the
+// same bytes so the oracle twin matches the engine bit for bit.
+func clsKeysFor(keyBytes, vm int) (dataKey, tweakKey []byte) {
+	dataKey = make([]byte, keyBytes)
+	dataKey[0] = 0x01
+	dataKey[1] = byte(vm) // per-VM counterless key (§IV-D)
+	tweakKey = make([]byte, keyBytes)
+	tweakKey[0] = 0x02
+	tweakKey[1] = byte(vm)
+	return dataKey, tweakKey
+}
+
+// cmKeyFor derives the single global counter-mode key.
+func cmKeyFor(keyBytes int) []byte {
+	key := make([]byte, keyBytes)
+	key[0] = 0x03
+	return key
+}
+
 // NewEngine builds a functional engine with fresh random-free (zero)
 // keys — determinism matters more than secrecy in a simulator; callers
 // needing distinct keys can vary them via the cipher packages.
@@ -120,23 +191,20 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 	if opts.CounterLimit == 0 {
 		opts.CounterLimit = ctrblock.CounterMax
 	}
+	backend := opts.Cipher
+	if backend == "" {
+		backend = aes.DefaultBackend()
+	}
 	cls := make([]*cipher.Counterless, opts.VMs)
 	for vm := range cls {
-		clsKey := make([]byte, opts.AESKeyBytes)
-		clsKey[0] = 0x01
-		clsKey[1] = byte(vm) // per-VM counterless key (§IV-D)
-		tweakKey := make([]byte, opts.AESKeyBytes)
-		tweakKey[0] = 0x02
-		tweakKey[1] = byte(vm)
+		clsKey, tweakKey := clsKeysFor(opts.AESKeyBytes, vm)
 		var err error
-		cls[vm], err = cipher.NewCounterless(clsKey, tweakKey, []byte("counterless-mac-key"))
+		cls[vm], err = cipher.NewCounterlessBackend(backend, clsKey, tweakKey, clsMACKey)
 		if err != nil {
 			return nil, err
 		}
 	}
-	cmKey := make([]byte, opts.AESKeyBytes)
-	cmKey[0] = 0x03
-	cm, err := cipher.NewCounterMode(cmKey, 0x5eed0fc0de15BAD1, nil)
+	cm, err := cipher.NewCounterModeBackend(backend, cmKeyFor(opts.AESKeyBytes), cmMACSecret, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +223,7 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 	return &Engine{
 		m:                    engineMetrics{eccTrials: eccTrials},
 		opts:                 opts,
+		cipherName:           backend,
 		cls:                  cls,
 		cm:                   cm,
 		ctrs:                 ctrs,
@@ -231,6 +300,118 @@ func (e *Engine) CounterlessCipher(vm int) *cipher.Counterless {
 		return nil
 	}
 	return e.cls[vm]
+}
+
+// CipherBackend reports the resolved AES backend name the engine's
+// ciphers run on (perf snapshots record it).
+func (e *Engine) CipherBackend() string { return e.cipherName }
+
+// ReferenceCounterCipher returns a counter-mode cipher with the
+// engine's keys on the reference AES backend. The differential oracle
+// recomputes through it so a fast backend is checked against an
+// independent implementation, not against itself. Built lazily and
+// cached; when the engine already runs the reference backend it is the
+// engine's own cipher.
+func (e *Engine) ReferenceCounterCipher() *cipher.CounterMode {
+	if e.cipherName == aes.BackendRef {
+		return e.cm
+	}
+	if e.refCm == nil {
+		cm, err := cipher.NewCounterModeBackend(aes.BackendRef, cmKeyFor(e.opts.AESKeyBytes), cmMACSecret, nil)
+		if err != nil {
+			panic("core: reference counter cipher: " + err.Error())
+		}
+		e.refCm = cm
+	}
+	return e.refCm
+}
+
+// ReferenceCounterlessCipher is ReferenceCounterCipher for VM vm's
+// counterless cipher (nil when vm is out of range).
+func (e *Engine) ReferenceCounterlessCipher(vm int) *cipher.Counterless {
+	if vm < 0 || vm >= len(e.cls) {
+		return nil
+	}
+	if e.cipherName == aes.BackendRef {
+		return e.cls[vm]
+	}
+	if e.refCls == nil {
+		e.refCls = make([]*cipher.Counterless, len(e.cls))
+	}
+	if e.refCls[vm] == nil {
+		dataKey, tweakKey := clsKeysFor(e.opts.AESKeyBytes, vm)
+		cls, err := cipher.NewCounterlessBackend(aes.BackendRef, dataKey, tweakKey, clsMACKey)
+		if err != nil {
+			panic("core: reference counterless cipher: " + err.Error())
+		}
+		e.refCls[vm] = cls
+	}
+	return e.refCls[vm]
+}
+
+// padFor returns the counter-mode pad and MAC OTP word for (ctr,
+// addr), serving from the direct-mapped pad cache when a prior MAC
+// check, decrypt, or PrecomputeReadPads already derived it. On a miss
+// it derives both with one six-block batched AES and fills the slot.
+func (e *Engine) padFor(ctr, addr uint64) (cipher.Block, mix.Word) {
+	slot := &e.padCache[(addr>>6)&(padCacheSize-1)]
+	if slot.valid && slot.addr == addr && slot.ctr == ctr {
+		return slot.pad, slot.otp
+	}
+	pad, otp := e.cm.PadWithMAC(ctr, addr)
+	*slot = padCacheEntry{ctr: ctr, addr: addr, pad: pad, otp: otp, valid: true}
+	return pad, otp
+}
+
+// PrecomputeReadPads derives the counter-mode pads for the given
+// block addresses ahead of the reads that will consume them, batching
+// all the AES into one EncryptBlocks call (six blocks per address) and
+// filling the pad cache. Addresses that are unwritten, unaligned, in
+// counterless mode, or already cached are skipped; the return value is
+// the number of pads actually derived. Steady-state it performs no
+// allocation: the gather buffers live on the engine.
+//
+// This is mcpool's pad-precompute stage: a shard collects the read
+// addresses of a batch, precomputes here, and every subsequent
+// Engine.Read hits the cache — the software analogue of the hardware
+// overlapping OTP AES with the DRAM access (paper Fig. 2b).
+func (e *Engine) PrecomputeReadPads(addrs []uint64) int {
+	e.pcCtrs = e.pcCtrs[:0]
+	e.pcAddrs = e.pcAddrs[:0]
+	for _, addr := range addrs {
+		if addr%64 != 0 || addr >= e.opts.MemSize {
+			continue
+		}
+		cw, ok := e.mem[addr]
+		if !ok {
+			continue
+		}
+		meta := cw.DecodeMeta()
+		if meta > ctrblock.CounterMax {
+			continue // counterless block: no pad to precompute
+		}
+		if slot := &e.padCache[(addr>>6)&(padCacheSize-1)]; slot.valid && slot.addr == addr && slot.ctr == meta {
+			continue
+		}
+		e.pcCtrs = append(e.pcCtrs, meta)
+		e.pcAddrs = append(e.pcAddrs, addr)
+	}
+	n := len(e.pcCtrs)
+	if n == 0 {
+		return 0
+	}
+	if cap(e.pcPads) < n {
+		e.pcPads = make([]cipher.Block, n)
+		e.pcOTPs = make([]mix.Word, n)
+	}
+	pads, otps := e.pcPads[:n], e.pcOTPs[:n]
+	e.cm.PadBatch(e.pcCtrs, e.pcAddrs, pads, otps, &e.pcScratch)
+	for i := 0; i < n; i++ {
+		addr := e.pcAddrs[i]
+		slot := &e.padCache[(addr>>6)&(padCacheSize-1)]
+		*slot = padCacheEntry{ctr: e.pcCtrs[i], addr: addr, pad: pads[i], otp: otps[i], valid: true}
+	}
+	return n
 }
 
 // IsPermanentCounterless reports whether the block has permanently

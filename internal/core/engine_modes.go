@@ -48,9 +48,12 @@ func (p counterCipherPath) MAC(addr uint64, ct cipher.Block, meta uint64) (uint6
 		return 0, false
 	}
 	// Counter-mode MAC is computed over the plaintext, which the MC
-	// obtains by XORing the (pre-computable) pad.
-	plain := p.e.cm.Decrypt(meta, addr, ct)
-	return p.e.cm.MAC(meta, addr, plain, uint32(meta)), true
+	// obtains by XORing the (pre-computable) pad. The pad and the MAC's
+	// OTP word come from one batched derivation through the pad cache;
+	// the Decrypt that follows a successful check reuses the same slot,
+	// so a verified read pays for the pad AES exactly once.
+	pad, otp := p.e.padFor(meta, addr)
+	return p.e.cm.MACFromOTP(otp, ct.XOR(pad), uint32(meta)), true
 }
 
 func (p counterCipherPath) Decrypt(addr uint64, ct cipher.Block, meta uint64) (cipher.Block, bool) {
@@ -61,7 +64,8 @@ func (p counterCipherPath) Decrypt(addr uint64, ct cipher.Block, meta uint64) (c
 	} else {
 		e.m.memoMisses.Inc()
 	}
-	return e.cm.Decrypt(meta, addr, ct), hit
+	pad, _ := e.padFor(meta, addr)
+	return ct.XOR(pad), hit
 }
 
 func (p counterCipherPath) Hypothesis(addr uint64) ecc.Hypothesis {

@@ -246,6 +246,28 @@ func (c *Cipher) decryptSlow(dst, src []byte) {
 	copy(dst[:BlockSize], s[:])
 }
 
+// EncryptBlocks encrypts len(src)/16 independent blocks in one call
+// (ECB over the batch) — the batch entry point pad generation uses.
+// dst and src may alias exactly but not partially overlap.
+func (c *Cipher) EncryptBlocks(dst, src []byte) {
+	if len(src)%BlockSize != 0 || len(dst) < len(src) {
+		panic("aes: batch length not a multiple of the block size")
+	}
+	for i := 0; i < len(src); i += BlockSize {
+		c.encryptFast(dst[i:], src[i:])
+	}
+}
+
+// DecryptBlocks is the batch inverse of EncryptBlocks.
+func (c *Cipher) DecryptBlocks(dst, src []byte) {
+	if len(src)%BlockSize != 0 || len(dst) < len(src) {
+		panic("aes: batch length not a multiple of the block size")
+	}
+	for i := 0; i < len(src); i += BlockSize {
+		c.decryptFast(dst[i:], src[i:])
+	}
+}
+
 // EncryptBlock is a convenience that returns the ciphertext of a
 // 16-byte array value.
 func (c *Cipher) EncryptBlock(src [16]byte) [16]byte {

@@ -1,0 +1,128 @@
+package aes
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestBackendsBitExact drives every registered backend over random
+// keys and blocks and requires byte-identical output: FIPS-197 AES is
+// AES, whichever implementation computes it.
+func TestBackendsBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, keyLen := range []int{16, 24, 32} {
+		for trial := 0; trial < 50; trial++ {
+			key := make([]byte, keyLen)
+			rng.Read(key)
+			ref, err := NewBackend(BackendRef, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var pt [BlockSize]byte
+			rng.Read(pt[:])
+			var want [BlockSize]byte
+			ref.Encrypt(want[:], pt[:])
+			for _, name := range BackendNames() {
+				b, err := NewBackend(name, key)
+				if err != nil {
+					t.Fatalf("NewBackend(%q): %v", name, err)
+				}
+				var ct [BlockSize]byte
+				b.Encrypt(ct[:], pt[:])
+				if ct != want {
+					t.Fatalf("%s: keyLen=%d Encrypt diverges from ref", name, keyLen)
+				}
+				var back [BlockSize]byte
+				b.Decrypt(back[:], ct[:])
+				if back != pt {
+					t.Fatalf("%s: keyLen=%d Decrypt does not invert Encrypt", name, keyLen)
+				}
+			}
+		}
+	}
+}
+
+// TestBackendBatchMatchesSingle checks EncryptBlocks/DecryptBlocks
+// against a loop of single-block calls, including the dst == src
+// aliasing the contract allows.
+func TestBackendBatchMatchesSingle(t *testing.T) {
+	key := make([]byte, 16)
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	src := make([]byte, 6*BlockSize)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	for _, name := range BackendNames() {
+		b, err := NewBackend(name, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, len(src))
+		for i := 0; i < len(src); i += BlockSize {
+			b.Encrypt(want[i:], src[i:])
+		}
+		got := make([]byte, len(src))
+		b.EncryptBlocks(got, src)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: EncryptBlocks != per-block Encrypt", name)
+		}
+		// In-place batch.
+		inplace := append([]byte(nil), src...)
+		b.EncryptBlocks(inplace, inplace)
+		if !bytes.Equal(inplace, want) {
+			t.Fatalf("%s: in-place EncryptBlocks diverges", name)
+		}
+		b.DecryptBlocks(inplace, inplace)
+		if !bytes.Equal(inplace, src) {
+			t.Fatalf("%s: DecryptBlocks does not invert EncryptBlocks", name)
+		}
+		if b.Rounds() != 10 {
+			t.Fatalf("%s: Rounds() = %d for AES-128, want 10", name, b.Rounds())
+		}
+	}
+}
+
+// TestBackendRegistry pins the registry surface: the three names, the
+// default, and loud errors for unknown names and bad keys.
+func TestBackendRegistry(t *testing.T) {
+	want := []string{BackendRef, BackendStdlib, BackendTTable}
+	got := BackendNames()
+	if len(got) != len(want) {
+		t.Fatalf("BackendNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BackendNames() = %v, want %v", got, want)
+		}
+	}
+	if _, err := NewBackend("nope", make([]byte, 16)); err == nil {
+		t.Fatal("NewBackend(nope) did not error")
+	}
+	if err := SetDefaultBackend("nope"); err == nil {
+		t.Fatal("SetDefaultBackend(nope) did not error")
+	}
+	for _, name := range BackendNames() {
+		if _, err := NewBackend(name, make([]byte, 7)); err == nil {
+			t.Fatalf("%s: 7-byte key did not error", name)
+		}
+	}
+	old := DefaultBackend()
+	defer func() {
+		if err := SetDefaultBackend(old); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := SetDefaultBackend(BackendStdlib); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBackend("", make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.(stdBackend); !ok {
+		t.Fatalf("empty name resolved to %T, want stdBackend", b)
+	}
+}

@@ -161,11 +161,51 @@ func Sum512(data []byte) [64]byte {
 // MAC64 computes a 64-bit MAC as the first 8 bytes of
 // SHA3-256(key || data...), the construction the counterless mode
 // uses for its per-block integrity check.
+//
+// It is on the engine's per-read/per-write hot path (the counterless
+// MAC and every ctrblock tree-node MAC), so unlike the general Hash it
+// runs the sponge on the stack with a fixed rate-sized buffer and
+// performs no allocation. TestMAC64MatchesHash keeps it in lockstep
+// with the Hash-based construction.
 func MAC64(key []byte, data ...[]byte) uint64 {
-	h := New256()
-	h.Write(key)
+	var s State
+	var buf [136]byte // SHA3-256 rate
+	n := mac64Absorb(&s, &buf, 0, key)
 	for _, d := range data {
-		h.Write(d)
+		n = mac64Absorb(&s, &buf, n, d)
 	}
-	return binary.LittleEndian.Uint64(h.Sum(nil))
+	// SHA-3 domain padding: 0x06 ... 0x80 (pad10*1 with suffix 01).
+	buf[n] = 0x06
+	for i := n + 1; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	buf[len(buf)-1] |= 0x80
+	mac64Block(&s, &buf)
+	// The first 8 squeezed bytes are lane (0, 0), little-endian.
+	return s[0][0]
+}
+
+// mac64Absorb streams p into the sponge through the rate buffer,
+// permuting whenever the buffer fills; it returns the new fill level.
+func mac64Absorb(s *State, buf *[136]byte, n int, p []byte) int {
+	for len(p) > 0 {
+		c := copy(buf[n:], p)
+		p = p[c:]
+		n += c
+		if n == len(buf) {
+			mac64Block(s, buf)
+			n = 0
+		}
+	}
+	return n
+}
+
+// mac64Block XORs one full rate block into the state and permutes —
+// Hash.absorb for the fixed SHA3-256 rate, without the slice plumbing.
+func mac64Block(s *State, buf *[136]byte) {
+	for i := 0; i < len(buf)/8; i++ {
+		lane := binary.LittleEndian.Uint64(buf[8*i:])
+		s[i%5][i/5] ^= lane
+	}
+	s.Permute()
 }

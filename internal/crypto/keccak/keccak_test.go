@@ -3,6 +3,7 @@ package keccak
 import (
 	"bytes"
 	stdsha3 "crypto/sha3"
+	"encoding/binary"
 	"encoding/hex"
 	"math/rand"
 	"testing"
@@ -186,5 +187,39 @@ func BenchmarkSum256_64B(b *testing.B) {
 	b.SetBytes(64)
 	for i := 0; i < b.N; i++ {
 		Sum256(data)
+	}
+}
+
+// TestMAC64MatchesHash keeps the stack-based MAC64 in lockstep with
+// the general Hash construction it specializes, across buffer-boundary
+// lengths (the rate is 136; 135/136/137 exercise the padding edges).
+func TestMAC64MatchesHash(t *testing.T) {
+	key := []byte("mac64-lockstep-key")
+	for _, n := range []int{0, 1, 8, 63, 119, 135, 136, 137, 271, 272, 300} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i * 17)
+		}
+		h := New256()
+		h.Write(key)
+		h.Write(data[:n/2])
+		h.Write(data[n/2:])
+		want := binary.LittleEndian.Uint64(h.Sum(nil))
+		if got := MAC64(key, data[:n/2], data[n/2:]); got != want {
+			t.Fatalf("len %d: MAC64 = %#x, Hash-based = %#x", n, got, want)
+		}
+	}
+}
+
+// MAC64 sits on the engine's per-op hot path; it must not allocate.
+func TestMAC64NoAllocs(t *testing.T) {
+	key := []byte("alloc-key")
+	var hdr [12]byte
+	var ct [64]byte
+	allocs := testing.AllocsPerRun(100, func() {
+		MAC64(key, hdr[:], ct[:])
+	})
+	if allocs != 0 {
+		t.Fatalf("MAC64 allocates %.1f times per call, want 0", allocs)
 	}
 }

@@ -70,7 +70,20 @@ type Store struct {
 	rootCounter uint32   // on-chip root; cannot be replayed
 	macKey      []byte
 	metaBytes   uint64 // total metadata footprint in bytes
+
+	// Reusable scratch for the MAC walks. VerifyCounter + Increment run
+	// on every counter-mode writeback (6-7 nodeMAC computations each),
+	// so the gather/serialize buffers live on the Store instead of
+	// being allocated per call. Uses never overlap: each nodeMAC call
+	// fully consumes its gathered counters before the next gather.
+	macBuf    [16 + 4*CountersPerBlock]byte
+	cbScratch [CountersPerBlock]uint32
+	neScratch [TreeArity]uint32
 }
+
+// zeroCounters backs storedMAC's never-written-node recomputation; it
+// is read-only (all zeros) and shared by every Store.
+var zeroCounters [CountersPerBlock]uint32
 
 // New creates a counter store for a data region of memSize bytes with
 // the given block size (normally 64).
@@ -148,7 +161,7 @@ func (s *Store) protectingEntry(l int, j uint64) uint32 {
 // nodeMAC computes the MAC binding a node's counters to its level,
 // index, and protecting entry one level up.
 func (s *Store) nodeMAC(level int, idx uint64, counters []uint32, parentCtr uint32) uint64 {
-	buf := make([]byte, 16+4*len(counters))
+	buf := s.macBuf[:16+4*len(counters)]
 	binary.LittleEndian.PutUint32(buf[0:], uint32(level))
 	binary.LittleEndian.PutUint64(buf[4:], idx)
 	binary.LittleEndian.PutUint32(buf[12:], parentCtr)
@@ -159,9 +172,10 @@ func (s *Store) nodeMAC(level int, idx uint64, counters []uint32, parentCtr uint
 }
 
 // counterBlockCounters gathers the 128 data counters in counter block
-// cbIdx.
+// cbIdx into the Store's scratch; the returned slice is valid until
+// the next gather.
 func (s *Store) counterBlockCounters(cbIdx uint64) []uint32 {
-	out := make([]uint32, CountersPerBlock)
+	out := s.cbScratch[:]
 	base := cbIdx * CountersPerBlock
 	for i := range out {
 		out[i] = s.counters[base+uint64(i)]
@@ -169,9 +183,11 @@ func (s *Store) counterBlockCounters(cbIdx uint64) []uint32 {
 	return out
 }
 
-// nodeEntries gathers the TreeArity entries of tree node (level, idx).
+// nodeEntries gathers the TreeArity entries of tree node (level, idx)
+// into the Store's scratch; the returned slice is valid until the
+// next gather.
 func (s *Store) nodeEntries(level int, idx uint64) []uint32 {
-	out := make([]uint32, TreeArity)
+	out := s.neScratch[:]
 	for i := range out {
 		out[i] = s.entries[level][idx*TreeArity+uint64(i)]
 	}
@@ -184,11 +200,9 @@ func (s *Store) storedMAC(level int, idx uint64) uint64 {
 	if m, ok := s.macs[level][idx]; ok {
 		return m
 	}
-	var zeros []uint32
+	zeros := zeroCounters[:TreeArity]
 	if level == 0 {
-		zeros = make([]uint32, CountersPerBlock)
-	} else {
-		zeros = make([]uint32, TreeArity)
+		zeros = zeroCounters[:]
 	}
 	// Initial protecting entries are zero as well.
 	return s.nodeMAC(level, idx, zeros, 0)

@@ -58,8 +58,27 @@ func BenchmarkPoolThroughputS8B32(b *testing.B) { benchmarkThroughput(b, 8, 32, 
 func BenchmarkPoolThroughputAttributed(b *testing.B) { benchmarkThroughput(b, 8, 32, true) }
 
 // BenchmarkPoolSubmitWait measures one closed-loop submit→wait round
-// trip on a warm pool — the per-request latency floor.
+// trip on a warm pool — the per-request latency floor, on the pooled
+// zero-alloc SubmitWait path clserve uses.
 func BenchmarkPoolSubmitWait(b *testing.B) {
+	pool := benchPool(b, 8, 32, false)
+	var req Request
+	req.Kind = OpWrite
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Addr = uint64(i%1024) * 64
+		req.Data[0] = byte(i)
+		if resp := pool.SubmitWait(req); resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+	}
+}
+
+// BenchmarkPoolSubmitFuture is the same round trip through the
+// future-based Submit path; the delta against BenchmarkPoolSubmitWait
+// is the future allocation cost the pooled path removes.
+func BenchmarkPoolSubmitFuture(b *testing.B) {
 	pool := benchPool(b, 8, 32, false)
 	var req Request
 	req.Kind = OpWrite

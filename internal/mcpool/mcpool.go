@@ -27,6 +27,7 @@
 package mcpool
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -37,6 +38,10 @@ import (
 	"counterlight/internal/epoch"
 	"counterlight/internal/obs"
 )
+
+// ErrClosed is returned by the submit entry points once Close has been
+// called.
+var ErrClosed = errors.New("mcpool: pool is closed")
 
 // OpKind selects what a Request does.
 type OpKind uint8
@@ -142,6 +147,15 @@ type Config struct {
 	// strictly an observer — enabling it changes no engine result and
 	// no journal entry (check.ConcurrentReplay proves this).
 	Attribution bool
+	// DisablePrecompute turns off the pad-precompute stage: by default
+	// a shard worker, before applying a batch, collects the batch's
+	// read addresses and derives their counter-mode pads with one
+	// batched AES call (core.Engine.PrecomputeReadPads), so each
+	// subsequent Read hits the engine's pad cache. Precompute is
+	// result-invariant — pads are pure functions of (counter, address)
+	// — so this switch only trades batching efficiency for latency of
+	// the first op in a batch.
+	DisablePrecompute bool
 	// Engine configures each shard's core.Engine. The zero value
 	// means core.DefaultEngineOptions(). Every shard engine spans the
 	// full address space; routing keeps their written sets disjoint.
@@ -186,8 +200,12 @@ type shard struct {
 }
 
 type submission struct {
-	req  Request
-	fut  *Future
+	req Request
+	fut *Future
+	// done, when fut is nil, is the pooled response channel of a
+	// SubmitWait/SubmitBatchWait caller (buffered, capacity 1 — the
+	// worker's send never blocks). Exactly one of fut/done is set.
+	done chan Response
 	span *obs.Span // nil unless attribution is on (barriers never carry one)
 }
 
@@ -273,21 +291,85 @@ func (p *Pool) ShardOf(addr uint64) int {
 	return int((addr >> 6) % uint64(len(p.shards)))
 }
 
-// Submit enqueues one request on its shard, blocking while the
-// shard's bounded queue is full (backpressure). It fails only when
-// the pool is closed.
-func (p *Pool) Submit(req Request) (*Future, error) {
+// submit enqueues one request with either a future or a pooled done
+// channel as its response path.
+func (p *Pool) submit(req Request, fut *Future, done chan Response) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
-		return nil, fmt.Errorf("mcpool: pool is closed")
+		return ErrClosed
 	}
-	fut := newFuture()
 	s := p.shards[p.ShardOf(req.Addr)]
 	p.submitted.Inc()
-	s.q <- submission{req: req, fut: fut, span: s.attrib.Start()}
+	s.q <- submission{req: req, fut: fut, done: done, span: s.attrib.Start()}
 	p.noteDepth(int64(len(s.q)))
+	return nil
+}
+
+// Submit enqueues one request on its shard, blocking while the
+// shard's bounded queue is full (backpressure). It fails only when
+// the pool is closed (ErrClosed).
+func (p *Pool) Submit(req Request) (*Future, error) {
+	fut := newFuture()
+	if err := p.submit(req, fut, nil); err != nil {
+		return nil, err
+	}
 	return fut, nil
+}
+
+// respChanPool recycles the buffered response channels of the
+// synchronous submit paths: a channel is taken per request, received
+// from exactly once, and returned — so the steady-state SubmitWait hot
+// path performs no allocation at all.
+var respChanPool = sync.Pool{New: func() any { return make(chan Response, 1) }}
+
+// chanSlicePool recycles SubmitBatchWait's per-call channel slices.
+var chanSlicePool = sync.Pool{New: func() any { return new([]chan Response) }}
+
+// SubmitWait submits one request and blocks until its response — the
+// allocation-free synchronous counterpart of Submit+Wait. A closed
+// pool yields a Response with Err == ErrClosed.
+func (p *Pool) SubmitWait(req Request) Response {
+	ch := respChanPool.Get().(chan Response)
+	if err := p.submit(req, nil, ch); err != nil {
+		respChanPool.Put(ch)
+		return Response{Err: err}
+	}
+	resp := <-ch
+	respChanPool.Put(ch)
+	return resp
+}
+
+// SubmitBatchWait submits every request (in order, so per-shard FIFO
+// order matches the slice) and blocks until all responses have landed
+// in resps, which the caller owns and which must be at least as long
+// as reqs. Like SubmitWait it recycles its channels: steady state it
+// does not allocate. On ErrClosed partway through, responses for the
+// already-submitted prefix are still collected before returning.
+func (p *Pool) SubmitBatchWait(reqs []Request, resps []Response) error {
+	if len(resps) < len(reqs) {
+		panic("mcpool: SubmitBatchWait responses shorter than requests")
+	}
+	sp := chanSlicePool.Get().(*[]chan Response)
+	chans := *sp
+	var submitErr error
+	for _, req := range reqs {
+		ch := respChanPool.Get().(chan Response)
+		if err := p.submit(req, nil, ch); err != nil {
+			respChanPool.Put(ch)
+			submitErr = err
+			break
+		}
+		chans = append(chans, ch)
+	}
+	for i, ch := range chans {
+		resps[i] = <-ch
+		respChanPool.Put(ch)
+		chans[i] = nil
+	}
+	*sp = chans[:0]
+	chanSlicePool.Put(sp)
+	return submitErr
 }
 
 // TrySubmit is Submit without the blocking: ok is false when the
@@ -380,13 +462,18 @@ func (p *Pool) Close() {
 }
 
 // worker drains one shard's queue in FIFO batches, applying each
-// batch under a single acquisition of the shard lock.
+// batch under a single acquisition of the shard lock. Its batch,
+// response, and precompute buffers are allocated once and reused for
+// the worker's lifetime: the steady-state loop performs no allocation,
+// which is what keeps the SubmitWait round trip at zero allocs/op.
 func (p *Pool) worker(s *shard) {
 	defer p.wg.Done()
+	batch := make([]submission, 0, p.cfg.BatchMax)
+	resps := make([]Response, p.cfg.BatchMax)
+	readAddrs := make([]uint64, 0, p.cfg.BatchMax)
 	for sub := range s.q {
 		sub.span.Mark(stageQueue)
-		batch := make([]submission, 1, p.cfg.BatchMax)
-		batch[0] = sub
+		batch = append(batch[:0], sub)
 	drain:
 		for len(batch) < p.cfg.BatchMax {
 			select {
@@ -408,7 +495,22 @@ func (p *Pool) worker(s *shard) {
 		for i := range batch {
 			batch[i].span.Mark(stageBatch)
 		}
-		resps := make([]Response, len(batch))
+		// Pad-precompute stage (§IV-B's "start the OTP AES while data
+		// is in flight", batched): derive every counter-mode pad the
+		// batch's reads will need with one AES call before applying.
+		// A single read gains nothing over the engine's own inline
+		// derivation, so the stage only runs for two or more.
+		if !p.cfg.DisablePrecompute {
+			readAddrs = readAddrs[:0]
+			for i := range batch {
+				if batch[i].req.Kind == OpRead {
+					readAddrs = append(readAddrs, batch[i].req.Addr)
+				}
+			}
+			if len(readAddrs) > 1 {
+				s.eng.PrecomputeReadPads(readAddrs)
+			}
+		}
 		work := 0 // non-barrier requests; Flush fences don't count
 		for i := range batch {
 			resps[i] = p.apply(s, batch[i].req)
@@ -419,9 +521,14 @@ func (p *Pool) worker(s *shard) {
 		}
 		s.mu.Unlock()
 		for i := range batch {
-			batch[i].fut.ch <- resps[i]
+			if batch[i].fut != nil {
+				batch[i].fut.ch <- resps[i]
+			} else {
+				batch[i].done <- resps[i]
+			}
 			batch[i].span.Mark(stageWriteback)
 			batch[i].span.Finish()
+			batch[i] = submission{} // drop future/span/Tag references
 		}
 		if work > 0 {
 			s.batches.Inc()

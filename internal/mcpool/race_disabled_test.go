@@ -1,0 +1,5 @@
+//go:build !race
+
+package mcpool
+
+const raceEnabled = false

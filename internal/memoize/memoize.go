@@ -46,6 +46,7 @@ type Table struct {
 	entries  map[uint32]*node
 	head     *node // most recently used
 	tail     *node // least recently used
+	free     *node // evicted nodes, recycled by insert (next-linked)
 
 	writeValue    uint32 // W: even, strictly increasing
 	epochWrites   int    // writebacks per W advance
@@ -206,7 +207,18 @@ func (t *Table) insert(counter uint32, pinned bool) mix.Word {
 	if len(t.entries) >= t.capacity {
 		t.evict()
 	}
-	n := &node{key: counter, val: t.compute(uint64(counter)), pinned: pinned}
+	// Reuse an evicted node when one is free: a table at capacity
+	// evicts on every insert, so the steady state (one advanceW per
+	// write epoch) recycles a single node forever instead of
+	// allocating — which is what keeps the engine write path at zero
+	// allocs/op.
+	n := t.free
+	if n != nil {
+		t.free = n.next
+		*n = node{key: counter, val: t.compute(uint64(counter)), pinned: pinned}
+	} else {
+		n = &node{key: counter, val: t.compute(uint64(counter)), pinned: pinned}
+	}
 	t.entries[counter] = n
 	t.pushFront(n)
 	return n.val
@@ -225,6 +237,8 @@ func (t *Table) evict() {
 	if t.onEvict != nil {
 		t.onEvict(victim.key)
 	}
+	victim.next = t.free
+	t.free = victim
 }
 
 func (t *Table) pushFront(n *node) {

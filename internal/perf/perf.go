@@ -28,8 +28,10 @@ import (
 
 // SchemaVersion is the current snapshot schema. Readers accept any
 // version they know how to interpret; writers always emit the
-// current one.
-const SchemaVersion = 1
+// current one. Version 2 added the Cipher field (the AES backend the
+// suite ran on); version-1 snapshots read back with Cipher empty,
+// meaning the pre-seam T-table path.
+const SchemaVersion = 2
 
 // Result is one benchmark's numbers. NsPerOp is the primary
 // regression-gated metric; AllocsPerOp is gated too (and is
@@ -57,7 +59,8 @@ type Snapshot struct {
 	OS       string   `json:"os"`
 	Arch     string   `json:"arch"`
 	MaxProcs int      `json:"maxprocs"`
-	Quick    bool     `json:"quick,omitempty"` // reduced measurement windows
+	Cipher   string   `json:"cipher,omitempty"` // AES backend (schema >= 2; empty = pre-seam ttable)
+	Quick    bool     `json:"quick,omitempty"`  // reduced measurement windows
 	Results  []Result `json:"results"`
 }
 
