@@ -14,6 +14,7 @@ import (
 	"counterlight/internal/epoch"
 	"counterlight/internal/mcpool"
 	"counterlight/internal/obs"
+	"counterlight/internal/obs/prof"
 	"counterlight/internal/perf"
 )
 
@@ -259,9 +260,12 @@ func benchPoolThroughput(shards, batchMax int) func(time.Duration) (perf.Result,
 	return func(window time.Duration) (perf.Result, error) {
 		opts := core.DefaultEngineOptions()
 		opts.MemSize = 1 << 22
+		// Profiler on: the gated numbers (including allocs/op) must
+		// hold with the probes live, since clserve always runs them.
 		pool, err := mcpool.New(mcpool.Config{
 			Shards:   shards,
 			BatchMax: batchMax,
+			Profile:  prof.New(aes.DefaultBackend()),
 			Engine:   opts,
 		})
 		if err != nil {
@@ -323,7 +327,11 @@ func poolAllocsPerOp(pool *mcpool.Pool) float64 {
 func benchSubmitWait(window time.Duration) (perf.Result, error) {
 	opts := core.DefaultEngineOptions()
 	opts.MemSize = 1 << 22
-	pool, err := mcpool.New(mcpool.Config{Shards: 8, BatchMax: 32, Engine: opts})
+	pool, err := mcpool.New(mcpool.Config{
+		Shards: 8, BatchMax: 32,
+		Profile: prof.New(aes.DefaultBackend()),
+		Engine:  opts,
+	})
 	if err != nil {
 		return perf.Result{}, err
 	}

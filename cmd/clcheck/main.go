@@ -24,6 +24,7 @@ import (
 	"counterlight/internal/crypto/aes"
 	"counterlight/internal/figures"
 	"counterlight/internal/obs"
+	"counterlight/internal/obs/flight"
 )
 
 func main() {
@@ -36,6 +37,8 @@ func main() {
 	campaignFile := flag.String("campaign", "", "load a campaign spec from this JSON file (overrides the generator flags)")
 	repro := flag.String("repro", "", "replay one repro token instead of running a campaign")
 	concurrent := flag.Bool("concurrent", false, "run the concurrent differential campaign: race each program through the sharded mcpool engine, then verify the applied-op journals against serialized replays")
+	adaptive := flag.Bool("adaptive", false, "with -concurrent: enable the measurement-driven adaptive watermark so its moves race the replay")
+	flightPath := flag.String("flight", "", "with -concurrent: write the flight recorder dump to this path when a divergence is found")
 	schemes := flag.Bool("schemes", false, "also sweep every registered timing scheme's Result invariants over the seeds")
 	metricsFile := flag.String("metrics", "", "write a Prometheus-text snapshot of the campaign counters to this file")
 	tokensFile := flag.String("tokens", "", "write minimized repro tokens (one per line) to this file on divergence")
@@ -53,7 +56,7 @@ func main() {
 		os.Exit(replayToken(*repro))
 	}
 	if *concurrent {
-		os.Exit(concurrentCampaign(*seeds, *seedStart, *jobs, *metricsFile))
+		os.Exit(concurrentCampaign(*seeds, *seedStart, *jobs, *metricsFile, *adaptive, *flightPath))
 	}
 
 	spec := check.DefaultCampaign(*seeds, *seedStart)
@@ -137,11 +140,20 @@ func main() {
 // multiple submitter goroutines, and each shard's applied-op journal
 // is replayed serially with the oracle in lockstep. Exit 1 on any
 // divergence.
-func concurrentCampaign(seeds int, seedStart int64, jobs int, metricsFile string) int {
+func concurrentCampaign(seeds int, seedStart int64, jobs int, metricsFile string, adaptive bool, flightPath string) int {
 	pool := figures.NewRunner(true)
 	pool.Workers = jobs
 	reg := obs.NewRegistry()
-	report, err := check.RunConcurrentCampaign(seeds, seedStart, check.ConcurrentConfig{}, pool, reg)
+	ccfg := check.ConcurrentConfig{AdaptiveWatermark: adaptive}
+	var rec *flight.Ring
+	if flightPath != "" {
+		// One shared ring across the campaign: divergences annotate it
+		// (KindDivergence carries the op index) and the newest window
+		// of pool activity around the failure is what gets dumped.
+		rec = flight.NewRing(4096)
+		ccfg.Flight = rec
+	}
+	report, err := check.RunConcurrentCampaign(seeds, seedStart, ccfg, pool, reg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clcheck: concurrent: %v\n", err)
 		return 1
@@ -155,6 +167,14 @@ func concurrentCampaign(seeds int, seedStart int64, jobs int, metricsFile string
 		writeMetrics(metricsFile, reg)
 	}
 	if !report.OK() {
+		if rec != nil {
+			if err := rec.DumpFile(flightPath); err != nil {
+				fmt.Fprintf(os.Stderr, "clcheck: flight: %v\n", err)
+			} else {
+				fmt.Printf("wrote flight dump (%d events, %d evicted) to %s\n",
+					rec.Recorded(), rec.Evicted(), flightPath)
+			}
+		}
 		fmt.Printf("FAIL: %d diverging seed(s)\n", len(report.Failures))
 		return 1
 	}

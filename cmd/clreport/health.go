@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"counterlight/internal/obs/prof"
+)
+
+// healthReport renders a health verdict file (clserve -health output,
+// or a saved /health response) as a human-readable check table.
+// Exit codes follow the load-balancer contract: 0 for OK or DEGRADED
+// (the service still serves), 1 for FAILING, 2 for unreadable input.
+func healthReport(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clreport: -health: %v\n", err)
+		return 2
+	}
+	var h prof.Health
+	if err := json.Unmarshal(data, &h); err != nil {
+		fmt.Fprintf(os.Stderr, "clreport: -health: %s: %v\n", path, err)
+		return 2
+	}
+	fmt.Printf("health %s: %s\n", path, h.State)
+	if len(h.Checks) == 0 {
+		fmt.Println("  (no checks recorded)")
+	}
+	for _, c := range h.Checks {
+		if c.Limit <= 0 {
+			fmt.Printf("  %-22s %-8s (not configured)\n", c.Name, c.State)
+			continue
+		}
+		fmt.Printf("  %-22s %-8s %s / %s (%.0f%% of limit)\n",
+			c.Name, c.State, renderValue(c.Name, c.Value), renderValue(c.Name, c.Limit),
+			100*c.Value/c.Limit)
+	}
+	if h.State == prof.StateFailing {
+		return 1
+	}
+	return 0
+}
+
+// renderValue formats a check reading in its natural unit: durations
+// for *_ns checks, bare ratios otherwise.
+func renderValue(name string, v float64) string {
+	if len(name) > 3 && name[len(name)-3:] == "_ns" {
+		return time.Duration(v).String()
+	}
+	return fmt.Sprintf("%.4f", v)
+}

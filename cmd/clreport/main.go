@@ -10,6 +10,7 @@
 //	clreport -compare snapdir/        # every *.json in a clbench -snapshots dir
 //	clreport -bench-compare BENCH_0.json BENCH_1.json   # grade a perf trajectory step
 //	clreport -bench-compare -bench-warn 0.10 -bench-fail 0.25 old.json new.json
+//	clreport -health health.json      # render a clserve SLO verdict (exit 1 on FAILING)
 package main
 
 import (
@@ -28,7 +29,12 @@ func main() {
 	benchCmp := flag.Bool("bench-compare", false, "compare two clbench -bench-json snapshots and gate regressions")
 	benchWarn := flag.Float64("bench-warn", 0.10, "with -bench-compare: warn when a gated metric regresses past this fraction (0 disables)")
 	benchFail := flag.Float64("bench-fail", 0.25, "with -bench-compare: exit nonzero past this fraction (0 disables)")
+	health := flag.String("health", "", "render a clserve -health verdict file (exit 1 on FAILING)")
 	flag.Parse()
+
+	if *health != "" {
+		os.Exit(healthReport(*health))
+	}
 
 	if *benchCmp {
 		if flag.NArg() != 2 {

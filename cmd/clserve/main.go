@@ -9,10 +9,13 @@
 //
 //	clserve -conns 8 -duration 10s
 //	clserve -conns 16 -qps 50000 -duration 30s -csv queue-depth.csv
-//	clserve -addr :8080            # monitoring server: /metrics, /metrics.json, /api/attrib
+//	clserve -addr :8080            # monitoring server: /metrics, /api/profile, /health, ...
 //	clserve -attrib                # per-op latency attribution breakdown at exit
 //	clserve -metrics-json final.json  # dump the full registry on clean shutdown
 //	clserve -cipher stdlib         # hardware-class AES on every shard engine
+//	clserve -adaptive              # measurement-driven watermark instead of static 3/4
+//	clserve -slo-p99 2ms -health health.json  # grade the run against an SLO
+//	clserve -flight flight.json    # dump the flight recorder at exit (and on SIGQUIT)
 //	clserve -duration 0            # run until interrupted
 package main
 
@@ -31,25 +34,58 @@ import (
 	"counterlight/internal/crypto/aes"
 	"counterlight/internal/mcpool"
 	"counterlight/internal/obs"
+	"counterlight/internal/obs/flight"
+	"counterlight/internal/obs/prof"
 	"counterlight/internal/obs/serve"
 )
 
+// runConfig carries every knob from flag parsing into run.
+type runConfig struct {
+	conns       int
+	qps         int
+	duration    time.Duration
+	shards      int
+	queue       int
+	batch       int
+	watermark   int
+	adaptive    bool
+	targetDelay time.Duration
+	blocks      int
+	readFrac    float64
+	seed        int64
+	csvPath     string
+	addr        string
+	attrib      bool
+	metricsJSON string
+	sloP99      time.Duration
+	sloMaxDeg   float64
+	healthPath  string
+	flightPath  string
+}
+
 func main() {
-	conns := flag.Int("conns", 8, "concurrent connection goroutines")
-	qps := flag.Int("qps", 0, "total target request rate across all connections (0 = closed loop, as fast as the pool absorbs)")
-	duration := flag.Duration("duration", 10*time.Second, "how long to drive load (0 = until SIGINT/SIGTERM)")
-	shards := flag.Int("shards", 8, "pool shards")
-	queue := flag.Int("queue", 256, "per-shard queue depth")
-	batch := flag.Int("batch", 32, "per-lock-acquisition batch cap")
-	watermark := flag.Int("watermark", 0, "queue depth at which Auto writes degrade to counterless (0 = 3/4 of -queue, negative disables)")
-	blocks := flag.Int("blocks", 8192, "working-set size in 64-byte blocks, split across connections")
-	readFrac := flag.Float64("read-frac", 0.5, "fraction of requests that are reads")
-	seed := flag.Int64("seed", 1, "workload RNG seed")
-	csvPath := flag.String("csv", "", "append 100ms queue-depth samples to this CSV file")
-	addr := flag.String("addr", "", "serve the monitoring server (/metrics, /metrics.json, /api/attrib, pprof) on this address while running")
-	attrib := flag.Bool("attrib", false, "enable per-op latency attribution and print the queue/batch/service/writeback breakdown at exit")
-	metricsJSON := flag.String("metrics-json", "", "write the final metrics registry as JSON to this path on clean shutdown (clreport -compare input)")
+	var cfg runConfig
+	flag.IntVar(&cfg.conns, "conns", 8, "concurrent connection goroutines")
+	flag.IntVar(&cfg.qps, "qps", 0, "total target request rate across all connections (0 = closed loop, as fast as the pool absorbs)")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to drive load (0 = until SIGINT/SIGTERM)")
+	flag.IntVar(&cfg.shards, "shards", 8, "pool shards")
+	flag.IntVar(&cfg.queue, "queue", 256, "per-shard queue depth")
+	flag.IntVar(&cfg.batch, "batch", 32, "per-lock-acquisition batch cap")
+	flag.IntVar(&cfg.watermark, "watermark", 0, "queue depth at which Auto writes degrade to counterless (0 = default 3/4 of -queue, negative disables, ignored with -adaptive)")
+	flag.BoolVar(&cfg.adaptive, "adaptive", false, "derive the watermark from measured shard service time instead of the static -watermark")
+	flag.DurationVar(&cfg.targetDelay, "target-delay", 0, "adaptive watermark queueing-delay target (0 = mcpool default)")
+	flag.IntVar(&cfg.blocks, "blocks", 8192, "working-set size in 64-byte blocks, split across connections")
+	flag.Float64Var(&cfg.readFrac, "read-frac", 0.5, "fraction of requests that are reads")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
+	flag.StringVar(&cfg.csvPath, "csv", "", "append 100ms queue-depth samples to this CSV file")
+	flag.StringVar(&cfg.addr, "addr", "", "serve the monitoring server (/metrics, /api/profile, /health, /api/slo, /api/flight, pprof) on this address while running")
+	flag.BoolVar(&cfg.attrib, "attrib", false, "enable per-op latency attribution and print the queue/batch/service/writeback breakdown at exit")
+	flag.StringVar(&cfg.metricsJSON, "metrics-json", "", "write the final metrics registry (profiler series included) as JSON to this path on clean shutdown (clreport -compare input)")
 	cipherName := flag.String("cipher", "", "AES backend for every shard engine: ref | ttable | stdlib (empty = $CL_CIPHER, else ttable)")
+	flag.DurationVar(&cfg.sloP99, "slo-p99", 0, "submit→wait p99 latency objective (0 disables the check)")
+	flag.Float64Var(&cfg.sloMaxDeg, "slo-max-degraded", 0, "max fraction of writes degraded to counterless per SLO window (0 disables)")
+	flag.StringVar(&cfg.healthPath, "health", "", "write the final health verdict as JSON to this path (clreport -health input)")
+	flag.StringVar(&cfg.flightPath, "flight", "", "write the flight recorder dump as JSON to this path at exit and on SIGQUIT")
 	flag.Parse()
 
 	if *cipherName != "" {
@@ -59,29 +95,36 @@ func main() {
 		}
 	}
 
-	if code := run(*conns, *qps, *duration, *shards, *queue, *batch, *watermark,
-		*blocks, *readFrac, *seed, *csvPath, *addr, *attrib, *metricsJSON); code != 0 {
+	if code := run(cfg); code != 0 {
 		os.Exit(code)
 	}
 }
 
-func run(conns, qps int, duration time.Duration, shards, queue, batch, watermark,
-	blocks int, readFrac float64, seed int64, csvPath, addr string, attrib bool, metricsJSON string) int {
-	if conns <= 0 || blocks < conns {
+func run(rc runConfig) int {
+	if rc.conns <= 0 || rc.blocks < rc.conns {
 		fmt.Fprintf(os.Stderr, "clserve: need at least one connection and one block per connection\n")
 		return 2
 	}
 	opts := core.DefaultEngineOptions()
-	if need := uint64(blocks) * 64; need > opts.MemSize {
+	if need := uint64(rc.blocks) * 64; need > opts.MemSize {
 		opts.MemSize = need
 	}
+	// The profiler and flight recorder are always on: the probes are
+	// sampled and lock-free, the ring is bounded, and a run you can't
+	// interrogate after the fact is a run wasted.
+	profiler := prof.New(aes.DefaultBackend())
+	rec := flight.NewRing(4096)
 	pool, err := mcpool.New(mcpool.Config{
-		Shards:      shards,
-		QueueDepth:  queue,
-		BatchMax:    batch,
-		Watermark:   watermark,
-		Attribution: attrib,
-		Engine:      opts,
+		Shards:            rc.shards,
+		QueueDepth:        rc.queue,
+		BatchMax:          rc.batch,
+		Watermark:         rc.watermark,
+		AdaptiveWatermark: rc.adaptive,
+		TargetDelayNs:     rc.targetDelay.Nanoseconds(),
+		Attribution:       rc.attrib,
+		Profile:           profiler,
+		Flight:            rec,
+		Engine:            opts,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clserve: %v\n", err)
@@ -89,6 +132,7 @@ func run(conns, qps int, duration time.Duration, shards, queue, batch, watermark
 	}
 	reg := obs.NewRegistry()
 	pool.RegisterMetrics(reg)
+	rec.RegisterMetrics(reg)
 	latency, err := obs.NewHistogram(
 		1_000, 2_000, 5_000, 10_000, 20_000, 50_000, // ns
 		100_000, 200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
@@ -99,10 +143,22 @@ func run(conns, qps int, duration time.Duration, shards, queue, batch, watermark
 	}
 	reg.RegisterHistogram("clserve_request_latency_ns", latency)
 
+	evaluator := prof.NewEvaluator(prof.SLOConfig{
+		SubmitP99Ns:     rc.sloP99.Nanoseconds(),
+		MaxDegradedFrac: rc.sloMaxDeg,
+	})
+	slo := newSLOLoop(evaluator, pool, profiler, rec)
+	slo.start()
+
+	if rc.flightPath != "" {
+		stop := flight.DumpOnSignal(rec, rc.flightPath, syscall.SIGQUIT)
+		defer stop()
+	}
+
 	ctx := context.Background()
-	if duration > 0 {
+	if rc.duration > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, duration)
+		ctx, cancel = context.WithTimeout(ctx, rc.duration)
 		defer cancel()
 	} else {
 		var stop context.CancelFunc
@@ -111,10 +167,13 @@ func run(conns, qps int, duration time.Duration, shards, queue, batch, watermark
 		fmt.Fprintln(os.Stderr, "clserve: running until interrupted (ctrl-c)")
 	}
 
-	if addr != "" {
+	if rc.addr != "" {
 		srv := serve.New()
 		srv.MergeRegistry(reg)
-		bound, err := srv.ListenAndServe(addr)
+		srv.AddProfile("pool", profiler)
+		srv.SetHealth(func() prof.Health { return evaluator.Last() })
+		srv.SetFlight(rec)
+		bound, err := srv.ListenAndServe(rc.addr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clserve: -addr: %v\n", err)
 			return 1
@@ -128,8 +187,8 @@ func run(conns, qps int, duration time.Duration, shards, queue, batch, watermark
 	}
 
 	var sampler *csvSampler
-	if csvPath != "" {
-		sampler, err = newCSVSampler(csvPath, pool)
+	if rc.csvPath != "" {
+		sampler, err = newCSVSampler(rc.csvPath, pool)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "clserve: -csv: %v\n", err)
 			return 1
@@ -141,19 +200,19 @@ func run(conns, qps int, duration time.Duration, shards, queue, batch, watermark
 	// block, so per-address ordering needs no cross-connection locks —
 	// the same discipline the per-bank queues of a real MC enforce.
 	var wg sync.WaitGroup
-	errs := make([]error, conns)
+	errs := make([]error, rc.conns)
 	start := time.Now()
-	for c := 0; c < conns; c++ {
+	for c := 0; c < rc.conns; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			errs[c] = connection(ctx, pool, latency, connConfig{
 				id:       c,
-				lo:       uint64(c*blocks/conns) * 64,
-				hi:       uint64((c+1)*blocks/conns) * 64,
-				readFrac: readFrac,
-				seed:     seed + int64(c),
-				interval: paceInterval(qps, conns),
+				lo:       uint64(c*rc.blocks/rc.conns) * 64,
+				hi:       uint64((c+1)*rc.blocks/rc.conns) * 64,
+				readFrac: rc.readFrac,
+				seed:     rc.seed + int64(c),
+				interval: paceInterval(rc.qps, rc.conns),
 			})
 		}(c)
 	}
@@ -163,7 +222,11 @@ func run(conns, qps int, duration time.Duration, shards, queue, batch, watermark
 	if sampler != nil {
 		sampler.stop()
 	}
+	health := slo.stop() // final evaluation over the whole run
+	rec.RefreshMetrics(reg)
 	agg := pool.Aggregate()
+	watermark := pool.Watermark()
+	moves := pool.WatermarkMoves()
 	pool.Close()
 
 	for _, err := range errs {
@@ -177,21 +240,47 @@ func run(conns, qps int, duration time.Duration, shards, queue, batch, watermark
 		degradedPct = 100 * float64(agg.DegradedWrites) / float64(agg.Writes)
 	}
 	fmt.Printf("clserve: %d conns, %d shards, %.1fs: %d ops (%.1f kops/s)\n",
-		conns, shards, elapsed.Seconds(), agg.Completed, float64(agg.Completed)/elapsed.Seconds()/1e3)
+		rc.conns, rc.shards, elapsed.Seconds(), agg.Completed, float64(agg.Completed)/elapsed.Seconds()/1e3)
 	fmt.Printf("  reads=%d writes=%d (counter=%d counterless=%d, %.1f%% degraded by watermark %d)\n",
-		agg.Reads, agg.Writes, agg.CounterModeWrites, agg.CounterlessWrites, degradedPct, pool.Watermark())
+		agg.Reads, agg.Writes, agg.CounterModeWrites, agg.CounterlessWrites, degradedPct, watermark)
 	fmt.Printf("  mode-switches=%d batches=%d contention=%d max-queue-depth=%d\n",
 		agg.ModeSwitches, agg.Batches, agg.Contention, agg.MaxQueueDepth)
 	fmt.Printf("  latency p50≤%s p99≤%s\n", quantileEdge(latency, 0.50), quantileEdge(latency, 0.99))
-	if attrib {
+	if rc.adaptive {
+		sw := profiler.SubmitWait.Snapshot()
+		fmt.Printf("  adaptive watermark: settled at %d after %d moves (service ewma %s, submit-wait p99 %s)\n",
+			watermark, moves, time.Duration(profiler.Service.EWMA()), time.Duration(sw.P99))
+	}
+	fmt.Printf("  flight: %d events recorded, %d evicted (ring %d)\n",
+		rec.Recorded(), rec.Evicted(), rec.Size())
+	fmt.Printf("  health: %s\n", renderHealth(health))
+	if rc.attrib {
 		printAttribution(pool)
 	}
-	if metricsJSON != "" {
-		if err := writeMetricsJSON(metricsJSON, reg); err != nil {
+	if rc.flightPath != "" {
+		if err := rec.DumpFile(rc.flightPath); err != nil {
+			fmt.Fprintf(os.Stderr, "clserve: -flight: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "clserve: wrote flight dump to %s\n", rc.flightPath)
+	}
+	if rc.healthPath != "" {
+		if err := writeHealthJSON(rc.healthPath, health); err != nil {
+			fmt.Fprintf(os.Stderr, "clserve: -health: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "clserve: wrote health verdict to %s\n", rc.healthPath)
+	}
+	if rc.metricsJSON != "" {
+		if err := writeMetricsJSON(rc.metricsJSON, reg); err != nil {
 			fmt.Fprintf(os.Stderr, "clserve: -metrics-json: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "clserve: wrote metrics snapshot to %s\n", metricsJSON)
+		fmt.Fprintf(os.Stderr, "clserve: wrote metrics snapshot to %s\n", rc.metricsJSON)
+	}
+	if health.State == prof.StateFailing {
+		fmt.Fprintln(os.Stderr, "clserve: SLO verdict FAILING")
+		return 1
 	}
 	return 0
 }
@@ -214,7 +303,9 @@ func printAttribution(pool *mcpool.Pool) {
 }
 
 // writeMetricsJSON dumps the registry's final state in the clreport
-// -compare / clsim -metrics-json interchange format.
+// -compare / clsim -metrics-json interchange format. The profiler's
+// prof_* series ride along: the pool registers its probes' gauges, so
+// the snapshot carries the streaming latency estimates too.
 func writeMetricsJSON(path string, reg *obs.Registry) error {
 	f, err := os.Create(path)
 	if err != nil {

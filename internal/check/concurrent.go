@@ -11,6 +11,7 @@ import (
 	"counterlight/internal/figures"
 	"counterlight/internal/mcpool"
 	"counterlight/internal/obs"
+	"counterlight/internal/obs/flight"
 )
 
 // This file is the concurrent differential mode: the same generated
@@ -44,6 +45,18 @@ type ConcurrentConfig struct {
 	// leave every journal entry and engine counter bit-identical, so
 	// campaigns run with it on prove the observer is an observer.
 	Attribution bool
+	// AdaptiveWatermark turns on the pool's measurement-driven
+	// watermark controller for the replay, with a small AdaptEvery so
+	// adaptation races the submitters. Replay programs carry explicit
+	// modes only, so no matter where the watermark moves, every
+	// journal entry must stay bit-identical — this is the proof that
+	// adaptation moves only the Auto degradation knee, never the
+	// ciphertext.
+	AdaptiveWatermark bool
+	// Flight, when non-nil, is attached to the replay pool; on any
+	// divergence the harness records a KindDivergence event so the
+	// ring holds the moments leading up to the failure.
+	Flight *flight.Ring
 }
 
 func (c ConcurrentConfig) withDefaults() ConcurrentConfig {
@@ -85,6 +98,10 @@ type ConcurrentResult struct {
 	// Div is the first disagreement found: pool response vs.
 	// serialized replay, oracle violation, or journal coverage gap.
 	Div *Divergence
+	// WatermarkMoves counts the adaptive controller's watermark moves
+	// during the replay (0 unless AdaptiveWatermark): proof in the
+	// passing case that adaptation actually raced the submitters.
+	WatermarkMoves uint64
 }
 
 // ConcurrentReplay drives prog through a sharded mcpool with racing
@@ -104,15 +121,24 @@ func ConcurrentReplay(prog Program, ccfg ConcurrentConfig) (ConcurrentResult, er
 			return ConcurrentResult{}, fmt.Errorf("check: op %d: stuck-at faults are not replayable concurrently", i)
 		}
 	}
-	pool, err := mcpool.New(mcpool.Config{
+	pcfg := mcpool.Config{
 		Shards:      ccfg.Shards,
 		QueueDepth:  ccfg.QueueDepth,
 		BatchMax:    ccfg.BatchMax,
 		Watermark:   -1, // explicit modes only: no load-dependent degradation
 		Journal:     true,
 		Attribution: ccfg.Attribution,
+		Flight:      ccfg.Flight,
 		Engine:      v.Options(false),
-	})
+	}
+	if ccfg.AdaptiveWatermark {
+		// Adapt as often as the pool allows so watermark moves race
+		// the submitters; the replay's explicit modes must make every
+		// move invisible in the journals.
+		pcfg.AdaptiveWatermark = true
+		pcfg.AdaptEvery = 2
+	}
+	pool, err := mcpool.New(pcfg)
 	if err != nil {
 		return ConcurrentResult{}, err
 	}
@@ -257,6 +283,7 @@ func ConcurrentReplay(prog Program, ccfg ConcurrentConfig) (ConcurrentResult, er
 			res.Stats.MACFailures += st.MACFailures
 		}
 	}
+	res.WatermarkMoves = pool.WatermarkMoves()
 	pool.Close()
 	if res.Div == nil {
 		for i, ok := range covered {
@@ -266,6 +293,11 @@ func ConcurrentReplay(prog Program, ccfg ConcurrentConfig) (ConcurrentResult, er
 				break
 			}
 		}
+	}
+	if res.Div != nil {
+		// Annotate the black box: the ring now ends with the failure
+		// it should explain.
+		ccfg.Flight.Record(flight.KindDivergence, -1, 0, int64(res.Div.OpIndex), 0)
 	}
 	return res, nil
 }

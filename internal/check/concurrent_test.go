@@ -148,15 +148,21 @@ func concurrentJournal(t *testing.T, prog Program, ccfg ConcurrentConfig) []mcpo
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool, err := mcpool.New(mcpool.Config{
+	pcfg := mcpool.Config{
 		Shards:      ccfg.Shards,
 		QueueDepth:  ccfg.QueueDepth,
 		BatchMax:    ccfg.BatchMax,
 		Watermark:   -1,
 		Journal:     true,
 		Attribution: ccfg.Attribution,
+		Flight:      ccfg.Flight,
 		Engine:      v.Options(false),
-	})
+	}
+	if ccfg.AdaptiveWatermark {
+		pcfg.AdaptiveWatermark = true
+		pcfg.AdaptEvery = 2
+	}
+	pool, err := mcpool.New(pcfg)
 	if err != nil {
 		t.Fatal(err)
 	}

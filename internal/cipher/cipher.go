@@ -35,6 +35,7 @@ import (
 	"counterlight/internal/crypto/gf"
 	"counterlight/internal/crypto/keccak"
 	"counterlight/internal/crypto/mix"
+	"counterlight/internal/obs/prof"
 )
 
 // BlockSize is the memory block (cache line) size in bytes.
@@ -111,6 +112,8 @@ type Counterless struct {
 	// tweak AES of one Encrypt/Decrypt call.
 	sin, sout [BlockSize]byte
 	tin, tout [16]byte
+
+	macProbe *prof.Probe // optional MAC64 latency probe (SetMACProbe)
 }
 
 // NewCounterless builds a counterless engine on the process-default
@@ -254,10 +257,13 @@ func (c *Counterless) Decrypt(addr uint64, ct Block) Block {
 // EncryptionMetadata as an input to the SHA-3 used for the counterless
 // MAC; the MAC stays 64 bits "to keep hardware regular").
 func (c *Counterless) MAC(addr uint64, ct Block, encMeta uint32) uint64 {
+	t0 := c.macProbe.Start()
 	var hdr [12]byte
 	binary.LittleEndian.PutUint64(hdr[0:], addr)
 	binary.LittleEndian.PutUint32(hdr[8:], encMeta)
-	return keccak.MAC64(c.macKey, hdr[:], ct[:])
+	m := keccak.MAC64(c.macKey, hdr[:], ct[:])
+	c.macProbe.Done(t0)
+	return m
 }
 
 // ---------------------------------------------------------------------------
@@ -288,6 +294,11 @@ type CounterMode struct {
 	// single-block CounterAES/AddrAES entry points (ain/aout).
 	pin, pout [padBlocks * 16]byte
 	ain, aout [16]byte
+
+	// Optional profiler probes (SetProbes): per-pad derivation latency
+	// and MAC latency.
+	padProbe *prof.Probe
+	macProbe *prof.Probe
 }
 
 // NewCounterMode builds a counter-mode engine on the process-default
@@ -380,6 +391,7 @@ func fillPadInputs(dst []byte, counter, addr uint64, n int) {
 // padInto derives the block pad (and, when macOTP is non-nil, the
 // MAC's dedicated OTP word) with a single batched AES call.
 func (c *CounterMode) padInto(pad *Block, counter, addr uint64, macOTP *mix.Word) {
+	t0 := c.padProbe.Start()
 	n := 1 + WordsPerBlock
 	if macOTP != nil {
 		n = padBlocks
@@ -394,6 +406,7 @@ func (c *CounterMode) padInto(pad *Block, counter, addr uint64, macOTP *mix.Word
 	if macOTP != nil {
 		*macOTP = c.combine(ctrAES, mix.FromBytes([16]byte(c.pout[16*(WordsPerBlock+1):16*(WordsPerBlock+2)])))
 	}
+	c.padProbe.Done(t0)
 }
 
 // Pad returns the full 64-byte pad for a block: one batched AES over
@@ -427,6 +440,7 @@ func (c *CounterMode) PadBatch(counters, addrs []uint64, pads []Block, macOTPs [
 	if len(pads) < n || (macOTPs != nil && len(macOTPs) < n) {
 		panic("cipher: PadBatch output shorter than input")
 	}
+	t0 := c.padProbe.Start()
 	in, out := s.grow(n * padBlocks * 16)
 	for i := 0; i < n; i++ {
 		fillPadInputs(in[i*padBlocks*16:(i+1)*padBlocks*16], counters[i], addrs[i], padBlocks)
@@ -443,6 +457,7 @@ func (c *CounterMode) PadBatch(counters, addrs []uint64, pads []Block, macOTPs [
 			macOTPs[i] = c.combine(ctrAES, mix.FromBytes([16]byte(out[base+16*(WordsPerBlock+1):base+16*(WordsPerBlock+2)])))
 		}
 	}
+	c.padProbe.DoneN(t0, n)
 }
 
 // Encrypt XORs the plaintext with the pad. Decryption is identical.
@@ -472,9 +487,12 @@ func (c *CounterMode) MAC(counter, addr uint64, plain Block, encMeta uint32) uin
 // last word PadWithMAC and PadBatch emit), so a verified read pays for
 // that AES exactly once.
 func (c *CounterMode) MACFromOTP(otp mix.Word, plain Block, encMeta uint32) uint64 {
+	t0 := c.macProbe.Start()
 	words := plain.Words64()
 	var inputs [9]uint64
 	copy(inputs[:], words[:])
 	inputs[8] = uint64(encMeta)
-	return otp.Lo ^ gf.DotProduct(inputs[:], c.macKeys)
+	m := otp.Lo ^ gf.DotProduct(inputs[:], c.macKeys)
+	c.macProbe.Done(t0)
+	return m
 }

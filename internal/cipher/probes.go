@@ -1,0 +1,20 @@
+package cipher
+
+import "counterlight/internal/obs/prof"
+
+// SetProbes attaches profiler probes to the counter-mode engine: pad
+// observes per-pad derivation latency (single and batched paths
+// alike), mac observes MACFromOTP latency. Nil probes (or never
+// calling SetProbes) keep the hot path at one nil check per site.
+// Not safe to call concurrently with encryption, matching the
+// engine's own single-owner contract.
+func (c *CounterMode) SetProbes(pad, mac *prof.Probe) {
+	c.padProbe = pad
+	c.macProbe = mac
+}
+
+// SetMACProbe attaches a profiler probe observing counterless MAC64
+// latency. Same ownership rules as SetProbes.
+func (c *Counterless) SetMACProbe(mac *prof.Probe) {
+	c.macProbe = mac
+}

@@ -12,6 +12,7 @@ import (
 	"counterlight/internal/epoch"
 	"counterlight/internal/memoize"
 	"counterlight/internal/obs"
+	"counterlight/internal/obs/prof"
 )
 
 // EngineOptions configures the functional engine.
@@ -46,6 +47,13 @@ type EngineOptions struct {
 	// fault must surface as an oracle divergence, proving the
 	// harness detects missing ECC rather than silently passing.
 	DisableCorrection bool
+	// Profile attaches online profiler probes to the engine's hot
+	// ciphers: pad-batch and MAC latency feed prof.Profiler's
+	// estimators (and through them the mcpool adaptive-watermark
+	// policy). Nil disables instrumentation at the cost of one nil
+	// check per probe site. Purely observational — never affects
+	// stored bytes or MACs.
+	Profile *prof.Profiler
 }
 
 // DefaultEngineOptions uses a small (test-friendly) memory with the
@@ -207,6 +215,12 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 	cm, err := cipher.NewCounterModeBackend(backend, cmKeyFor(opts.AESKeyBytes), cmMACSecret, nil)
 	if err != nil {
 		return nil, err
+	}
+	if pf := opts.Profile; pf != nil {
+		cm.SetProbes(pf.PadBatch, pf.MAC)
+		for _, c := range cls {
+			c.SetMACProbe(pf.MAC)
+		}
 	}
 	ctrs, err := ctrblock.New(opts.MemSize, 64)
 	if err != nil {

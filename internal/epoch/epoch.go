@@ -17,6 +17,7 @@ import (
 	"math/bits"
 
 	"counterlight/internal/obs"
+	"counterlight/internal/obs/flight"
 )
 
 // Mode is the writeback encryption mode selected for (part of) an epoch.
@@ -61,7 +62,8 @@ type Monitor struct {
 	nextFromStart Mode   // mode the next epoch will start in
 	history       []Record
 
-	tracer *obs.Tracer // optional; nil drops every event
+	tracer *obs.Tracer  // optional; nil drops every event
+	rec    *flight.Ring // optional; nil drops every event
 
 	// onBoundary, when set, receives every closed epoch as it rolls
 	// over (the live-telemetry seam). Called unconditionally — unlike
@@ -154,6 +156,12 @@ type BoundaryFunc func(boundary int64, index uint64, rec Record)
 // them.
 func (m *Monitor) SetBoundaryHook(fn BoundaryFunc) { m.onBoundary = fn }
 
+// SetFlight attaches a flight recorder: epoch-boundary mode switches
+// land in the ring as KindEpochSwitch events (A = new mode, B = epoch
+// index), so a post-hoc dump shows the §III-B policy's decisions
+// interleaved with the pool's. Pure observation, like the tracer.
+func (m *Monitor) SetFlight(r *flight.Ring) { m.rec = r }
+
 // roll advances epoch boundaries up to now.
 func (m *Monitor) roll(now int64) {
 	for now-m.epochStart >= m.epochLen {
@@ -191,6 +199,10 @@ func (m *Monitor) roll(now int64) {
 				m.tracer.Emit(boundary, obs.PhaseInstant, obs.CatEpoch, "mode_switch",
 					obs.A("mode", int64(m.nextFromStart)), obs.A("epoch", int64(m.epochs.Value())))
 			}
+		}
+		if m.nextFromStart != m.startMode {
+			m.rec.Record(flight.KindEpochSwitch, -1, 0,
+				int64(m.nextFromStart), int64(m.epochs.Value()))
 		}
 		m.epochStart = boundary
 		m.accesses = 0

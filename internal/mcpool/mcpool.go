@@ -37,6 +37,8 @@ import (
 	"counterlight/internal/core"
 	"counterlight/internal/epoch"
 	"counterlight/internal/obs"
+	"counterlight/internal/obs/flight"
+	"counterlight/internal/obs/prof"
 )
 
 // ErrClosed is returned by the submit entry points once Close has been
@@ -132,9 +134,41 @@ type Config struct {
 	// acquisition applies (default 32).
 	BatchMax int
 	// Watermark is the queue depth at which Auto writebacks degrade
-	// to counterless (default 3/4 of QueueDepth; negative disables
-	// degradation entirely).
+	// to counterless. 0 means the default: 3/4 of QueueDepth, but
+	// never below 2 — for QueueDepth 1 or 2 the default is QueueDepth
+	// itself, so tiny queues degrade only when genuinely full rather
+	// than on every pipelined Auto write. Any negative value disables
+	// degradation entirely (-1 by convention). Ignored when
+	// AdaptiveWatermark is on.
 	Watermark int
+	// AdaptiveWatermark replaces the static watermark with the
+	// measurement-driven policy: the per-op service time measured by
+	// the profiler's Service probe (EWMA) is converted, Little's-law
+	// style, into the backlog that fits inside TargetDelayNs, clamped
+	// to [1, QueueDepth] and hysteresis-damped. Adaptation only moves
+	// the knee at which Auto writebacks degrade — explicit-mode
+	// requests and all ciphertext are untouched (check.ConcurrentReplay
+	// proves bit-identity with adaptation racing). Overrides Watermark.
+	AdaptiveWatermark bool
+	// TargetDelayNs is the queueing-delay objective the adaptive
+	// watermark steers toward (default 250µs): the pool starts
+	// shedding counter/tree work when the measured backlog drain time
+	// would exceed it.
+	TargetDelayNs int64
+	// AdaptEvery is how many drained batches a shard waits between
+	// watermark re-evaluations (default 32).
+	AdaptEvery int
+	// Profile attaches an online profiler: pad/MAC probes are wired
+	// into every shard engine's ciphers, and the pool feeds the
+	// Service, Occupancy, and SubmitWait probes. Required input of the
+	// adaptive watermark — when AdaptiveWatermark is set and Profile
+	// is nil, the pool creates one (see Pool.Profiler). Purely
+	// observational on its own.
+	Profile *prof.Profiler
+	// Flight attaches a flight recorder: degradations, watermark
+	// moves, stored-mode switches, fault injections, and sampled
+	// submits are recorded into the ring. Nil disables recording.
+	Flight *flight.Ring
 	// Journal records every applied op per shard for serialized
 	// replay (the concurrent differential harness). Off by default:
 	// journals grow with traffic.
@@ -176,6 +210,23 @@ type Pool struct {
 	degraded  obs.Counter
 	maxDepth  atomic.Int64
 	depthHWM  obs.Gauge // registry view of maxDepth
+
+	// Self-observation. The probe pointers are copies of the
+	// profiler's fields so a disabled profiler costs one nil check
+	// per site (probe methods are nil-safe; profiler field access is
+	// not).
+	pf         *prof.Profiler
+	pService   *prof.Probe
+	pOccupancy *prof.Probe
+	pSubmit    *prof.Probe
+	rec        *flight.Ring
+	recN       atomic.Uint64 // submit-sampling counter for the recorder
+
+	// Adaptive-watermark state: the live watermark every shard's
+	// apply consults, plus move accounting.
+	wm      atomic.Int64
+	wmGauge obs.Gauge
+	wmMoves obs.Counter
 }
 
 type shard struct {
@@ -197,6 +248,10 @@ type shard struct {
 	modeSwitches obs.Counter
 	batchSize    *obs.Histogram
 	attrib       *obs.Attributor // nil unless Config.Attribution
+
+	// sinceAdapt counts drained batches toward the next watermark
+	// re-evaluation (worker-private, no atomics needed).
+	sinceAdapt int
 }
 
 type submission struct {
@@ -227,6 +282,30 @@ const (
 // StageNames are the attribution stage names, in pipeline order.
 var StageNames = []string{"queue", "batch", "service", "writeback"}
 
+// DefaultTargetDelayNs is the adaptive watermark's queueing-delay
+// objective when Config.TargetDelayNs is unset: 1ms of measured
+// backlog drain time before Auto writebacks start degrading. (The
+// simulated engine's per-op service time is tens to hundreds of
+// microseconds of real software crypto, so the default knee sits at
+// a backlog of a handful to a few dozen ops.)
+const DefaultTargetDelayNs = 1_000_000
+
+// DefaultAdaptEvery is how many drained batches a shard waits between
+// watermark re-evaluations when Config.AdaptEvery is unset.
+const DefaultAdaptEvery = 32
+
+// defaultWatermark is the static degradation default: 3/4 of the
+// queue depth, except that queues too small for 3/4 to mean anything
+// (QueueDepth < 3 would round to 1 or less and demote every pipelined
+// Auto write) degrade only when genuinely full.
+func defaultWatermark(queueDepth int) int {
+	w := queueDepth * 3 / 4
+	if w < 2 {
+		w = queueDepth
+	}
+	return w
+}
+
 // New builds and starts a pool; Close stops it.
 func New(cfg Config) (*Pool, error) {
 	if cfg.Shards <= 0 {
@@ -242,15 +321,39 @@ func New(cfg Config) (*Pool, error) {
 		cfg.BatchMax = cfg.QueueDepth
 	}
 	if cfg.Watermark == 0 {
-		cfg.Watermark = cfg.QueueDepth * 3 / 4
-		if cfg.Watermark == 0 {
-			cfg.Watermark = 1
-		}
+		cfg.Watermark = defaultWatermark(cfg.QueueDepth)
 	}
 	if cfg.Engine == (core.EngineOptions{}) {
 		cfg.Engine = core.DefaultEngineOptions()
 	}
+	if cfg.AdaptiveWatermark {
+		if cfg.TargetDelayNs <= 0 {
+			cfg.TargetDelayNs = DefaultTargetDelayNs
+		}
+		if cfg.AdaptEvery <= 0 {
+			cfg.AdaptEvery = DefaultAdaptEvery
+		}
+		if cfg.Profile == nil {
+			cfg.Profile = prof.New(cfg.Engine.Cipher)
+		}
+	}
+	if cfg.Profile != nil {
+		// Wire the pad/MAC probes into every shard engine's ciphers.
+		cfg.Engine.Profile = cfg.Profile
+	}
 	p := &Pool{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	if pf := cfg.Profile; pf != nil {
+		p.pf = pf
+		p.pService = pf.Service
+		p.pOccupancy = pf.Occupancy
+		p.pSubmit = pf.SubmitWait
+	}
+	p.rec = cfg.Flight
+	// The adaptive controller starts from the static default and
+	// adapts from there; until the first measured batch it behaves
+	// exactly like the static policy.
+	p.wm.Store(int64(defaultWatermark(cfg.QueueDepth)))
+	p.wmGauge.Set(p.wm.Load())
 	for i := range p.shards {
 		eng, err := core.NewEngine(cfg.Engine)
 		if err != nil {
@@ -302,9 +405,18 @@ func (p *Pool) submit(req Request, fut *Future, done chan Response) error {
 	s := p.shards[p.ShardOf(req.Addr)]
 	p.submitted.Inc()
 	s.q <- submission{req: req, fut: fut, done: done, span: s.attrib.Start()}
-	p.noteDepth(int64(len(s.q)))
+	d := int64(len(s.q))
+	p.noteDepth(d)
+	if p.rec != nil && p.recN.Add(1)&(flightSubmitSample-1) == 0 {
+		p.rec.Record(flight.KindSubmit, int32(s.id), req.Addr, int64(req.Kind), d)
+	}
 	return nil
 }
+
+// flightSubmitSample: one in this many submits is recorded into the
+// flight ring (power of two). Degradations, watermark moves, and
+// faults are always recorded; submits are context.
+const flightSubmitSample = 64
 
 // Submit enqueues one request on its shard, blocking while the
 // shard's bounded queue is full (backpressure). It fails only when
@@ -330,6 +442,7 @@ var chanSlicePool = sync.Pool{New: func() any { return new([]chan Response) }}
 // allocation-free synchronous counterpart of Submit+Wait. A closed
 // pool yields a Response with Err == ErrClosed.
 func (p *Pool) SubmitWait(req Request) Response {
+	t0 := p.pSubmit.Start()
 	ch := respChanPool.Get().(chan Response)
 	if err := p.submit(req, nil, ch); err != nil {
 		respChanPool.Put(ch)
@@ -337,6 +450,7 @@ func (p *Pool) SubmitWait(req Request) Response {
 	}
 	resp := <-ch
 	respChanPool.Put(ch)
+	p.pSubmit.Done(t0)
 	return resp
 }
 
@@ -512,6 +626,7 @@ func (p *Pool) worker(s *shard) {
 			}
 		}
 		work := 0 // non-barrier requests; Flush fences don't count
+		t0 := p.pService.Start()
 		for i := range batch {
 			resps[i] = p.apply(s, batch[i].req)
 			batch[i].span.Mark(stageService)
@@ -519,6 +634,7 @@ func (p *Pool) worker(s *shard) {
 				work++
 			}
 		}
+		p.pService.DoneN(t0, work)
 		s.mu.Unlock()
 		for i := range batch {
 			if batch[i].fut != nil {
@@ -534,7 +650,59 @@ func (p *Pool) worker(s *shard) {
 			s.batches.Inc()
 			s.batchSize.Add(int64(work))
 			p.completed.Add(uint64(work))
+			p.pOccupancy.Observe(int64(work))
+			if p.cfg.AdaptiveWatermark {
+				s.sinceAdapt++
+				if s.sinceAdapt >= p.cfg.AdaptEvery {
+					s.sinceAdapt = 0
+					p.adapt(s)
+				}
+			}
 		}
+	}
+}
+
+// adapt re-evaluates the degradation watermark from the measured
+// service rate: the backlog that drains within TargetDelayNs at the
+// Service probe's per-op EWMA, clamped to [1, QueueDepth]. Moves are
+// hysteresis-damped — a deadband of cur/8 (min 1) suppresses jitter,
+// and the watermark steps half the remaining distance per evaluation
+// rather than jumping. Adaptation only moves the knee at which Auto
+// writebacks degrade; it can never change an explicit-mode result.
+func (p *Pool) adapt(s *shard) {
+	perOp := p.pService.EWMA()
+	if perOp <= 0 {
+		return // no measurement yet
+	}
+	target := int64(float64(p.cfg.TargetDelayNs) / perOp)
+	if target < 1 {
+		target = 1
+	}
+	if lim := int64(p.cfg.QueueDepth); target > lim {
+		target = lim
+	}
+	cur := p.wm.Load()
+	diff := target - cur
+	dead := cur / 8
+	if dead < 1 {
+		dead = 1
+	}
+	if diff <= dead && diff >= -dead {
+		return // within the deadband: hold
+	}
+	step := diff / 2
+	if step == 0 {
+		if diff > 0 {
+			step = 1
+		} else {
+			step = -1
+		}
+	}
+	next := cur + step
+	if p.wm.CompareAndSwap(cur, next) {
+		p.wmGauge.Set(next)
+		p.wmMoves.Inc()
+		p.rec.Record(flight.KindWatermark, int32(s.id), 0, cur, next)
 	}
 }
 
@@ -554,10 +722,11 @@ func (p *Pool) apply(s *shard, req Request) Response {
 			// watermark means the controller is saturated — shed the
 			// counter and tree traffic for this writeback.
 			mode = epoch.CounterMode
-			if p.cfg.Watermark >= 0 && len(s.q) >= p.cfg.Watermark {
+			if w := p.effectiveWatermark(); w >= 0 && len(s.q) >= w {
 				mode = epoch.Counterless
 				resp.Degraded = true
 				p.degraded.Inc()
+				p.rec.Record(flight.KindDegrade, int32(s.id), req.Addr, int64(len(s.q)), int64(w))
 			}
 			req.Auto = false
 			req.Mode = mode // journal the resolved mode, not Auto
@@ -572,11 +741,13 @@ func (p *Pool) apply(s *shard, req Request) Response {
 		if err == nil {
 			if last, ok := s.lastMode[req.Addr]; ok && last != applied {
 				s.modeSwitches.Inc()
+				p.rec.Record(flight.KindModeSwitch, int32(s.id), req.Addr, int64(last), int64(applied))
 			}
 			s.lastMode[req.Addr] = applied
 		}
 	case OpFault:
 		resp = Response{Err: s.eng.InjectFault(req.Addr, req.Chip, req.Pattern)}
+		p.rec.Record(flight.KindFault, int32(s.id), req.Addr, int64(req.Chip), int64(req.Pattern))
 	case opBarrier:
 		journal = false
 	default:
@@ -670,9 +841,32 @@ func (p *Pool) Sample() Sample {
 	return s
 }
 
-// Watermark returns the effective degradation watermark (negative
-// when disabled).
-func (p *Pool) Watermark() int { return p.cfg.Watermark }
+// effectiveWatermark is the degradation knee apply consults: the
+// live adaptive value when adaptation is on, the configured static
+// one otherwise.
+func (p *Pool) effectiveWatermark() int {
+	if p.cfg.AdaptiveWatermark {
+		return int(p.wm.Load())
+	}
+	return p.cfg.Watermark
+}
+
+// Watermark returns the current effective degradation watermark
+// (negative when disabled): the configured static value, or the
+// adaptive controller's live value when AdaptiveWatermark is on.
+func (p *Pool) Watermark() int { return p.effectiveWatermark() }
+
+// WatermarkMoves returns how many times the adaptive controller has
+// moved the watermark (0 with the static policy).
+func (p *Pool) WatermarkMoves() uint64 { return p.wmMoves.Value() }
+
+// Profiler returns the pool's online profiler (nil when disabled).
+// With AdaptiveWatermark set the pool guarantees one exists.
+func (p *Pool) Profiler() *prof.Profiler { return p.pf }
+
+// FlightRing returns the attached flight recorder (nil when
+// disabled).
+func (p *Pool) FlightRing() *flight.Ring { return p.rec }
 
 // AttributionEnabled reports whether the pool records per-op latency
 // attribution.
@@ -707,6 +901,11 @@ func (p *Pool) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
 	reg.RegisterCounter("mcpool_completed_total", &p.completed, labels...)
 	reg.RegisterCounter("mcpool_degraded_writes_total", &p.degraded, labels...)
 	reg.RegisterGauge("mcpool_queue_depth_hwm", &p.depthHWM, labels...)
+	if p.cfg.AdaptiveWatermark {
+		reg.RegisterGauge("mcpool_watermark", &p.wmGauge, labels...)
+		reg.RegisterCounter("mcpool_watermark_moves_total", &p.wmMoves, labels...)
+	}
+	p.pf.Register(reg, labels...)
 	for _, s := range p.shards {
 		ls := append(append([]obs.Label(nil), labels...), obs.L("shard", strconv.Itoa(s.id)))
 		reg.RegisterGauge("mcpool_shard_queue_depth", &s.depth, ls...)

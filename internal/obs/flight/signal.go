@@ -1,0 +1,38 @@
+package flight
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+)
+
+// DumpOnSignal installs a handler that writes the recorder to path
+// every time one of sigs arrives (conventionally SIGQUIT, mirroring
+// the Go runtime's own dump-on-demand signal). Returns a stop
+// function that uninstalls the handler.
+func DumpOnSignal(r *Ring, path string, sigs ...os.Signal) (stop func()) {
+	if r == nil || path == "" || len(sigs) == 0 {
+		return func() {}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sigs...)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				if err := r.DumpFile(path); err != nil {
+					fmt.Fprintf(os.Stderr, "flight: dump to %s failed: %v\n", path, err)
+				} else {
+					fmt.Fprintf(os.Stderr, "flight: dumped %d events to %s\n", r.Recorded(), path)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -1,0 +1,221 @@
+package prof
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// exactQuantile is the nearest-rank reference the P² estimates are
+// graded against.
+func exactQuantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// TestP2GoldenQuantiles feeds fixed-seed streams from three shapes of
+// distribution through the P² estimator and requires the estimates to
+// land within a relative tolerance of the exact quantiles. P² is an
+// approximation; the tolerances bound how wrong the watermark policy's
+// inputs can be, they do not assert exactness.
+func TestP2GoldenQuantiles(t *testing.T) {
+	dists := []struct {
+		name string
+		gen  func(r *rand.Rand) float64
+		tol  map[float64]float64 // quantile → allowed relative error
+	}{
+		// Uniform: P² is near-exact here.
+		{"uniform", func(r *rand.Rand) float64 { return 1000 + 9000*r.Float64() },
+			map[float64]float64{0.50: 0.05, 0.90: 0.05, 0.99: 0.05}},
+		// Exponential: latency-shaped right tail.
+		{"exponential", func(r *rand.Rand) float64 { return 500 * r.ExpFloat64() },
+			map[float64]float64{0.50: 0.10, 0.90: 0.10, 0.99: 0.15}},
+		// Lognormal: heavy tail, the hardest case for 5 markers.
+		{"lognormal", func(r *rand.Rand) float64 { return math.Exp(6 + 1.0*r.NormFloat64()) },
+			map[float64]float64{0.50: 0.15, 0.90: 0.20, 0.99: 0.35}},
+	}
+	const n = 20000
+	for _, d := range dists {
+		for seed := int64(1); seed <= 3; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			ests := map[float64]*p2{}
+			for _, q := range []float64{0.50, 0.90, 0.99} {
+				e := newP2(q)
+				ests[q] = &e
+			}
+			samples := make([]float64, 0, n)
+			for i := 0; i < n; i++ {
+				x := d.gen(r)
+				samples = append(samples, x)
+				for _, e := range ests {
+					e.observe(x)
+				}
+			}
+			sort.Float64s(samples)
+			for q, e := range ests {
+				want := exactQuantile(samples, q)
+				got := e.value()
+				relErr := math.Abs(got-want) / want
+				if relErr > d.tol[q] {
+					t.Errorf("%s seed %d p%.0f: P² %.1f vs exact %.1f (rel err %.3f > %.3f)",
+						d.name, seed, q*100, got, want, relErr, d.tol[q])
+				}
+			}
+		}
+	}
+}
+
+// TestP2SmallStreams pins the pre-marker fallback: under five samples
+// the estimator must return nearest-rank quantiles of what it has, and
+// the n==5 transition must not lose samples.
+func TestP2SmallStreams(t *testing.T) {
+	e := newP2(0.50)
+	if got := e.value(); got != 0 {
+		t.Fatalf("empty estimator value = %v, want 0", got)
+	}
+	e.observe(10)
+	if got := e.value(); got != 10 {
+		t.Fatalf("single-sample p50 = %v, want 10", got)
+	}
+	for _, x := range []float64{30, 20, 50, 40} {
+		e.observe(x)
+	}
+	// 5 samples {10,20,30,40,50}: markers initialized, median marker is 30.
+	if got := e.value(); got != 30 {
+		t.Fatalf("5-sample p50 = %v, want 30", got)
+	}
+}
+
+// TestProbeSampling pins the 1-in-N contract: every observation is
+// counted, only one in SampleEvery reads the clock and folds.
+func TestProbeSampling(t *testing.T) {
+	p := NewProbe(8)
+	if got := p.SampleEvery(); got != 8 {
+		t.Fatalf("SampleEvery = %d, want 8", got)
+	}
+	starts := 0
+	for i := 0; i < 64; i++ {
+		if t0 := p.Start(); t0 != 0 {
+			starts++
+			p.Done(t0)
+		}
+	}
+	if starts != 8 {
+		t.Fatalf("sampled %d of 64 observations, want 8", starts)
+	}
+	if got := p.Count(); got != 64 {
+		t.Fatalf("Count = %d, want 64", got)
+	}
+	s := p.Snapshot()
+	if s.Sampled != 8 || s.Dropped != 0 {
+		t.Fatalf("snapshot sampled=%d dropped=%d, want 8, 0", s.Sampled, s.Dropped)
+	}
+
+	// Non-power-of-two periods round up.
+	if got := NewProbe(5).SampleEvery(); got != 8 {
+		t.Fatalf("NewProbe(5).SampleEvery = %d, want 8", got)
+	}
+	if got := NewProbe(1).SampleEvery(); got != 1 {
+		t.Fatalf("NewProbe(1).SampleEvery = %d, want 1", got)
+	}
+}
+
+// TestProbeNilSafe: a nil probe (and a nil profiler) must be usable as
+// a disabled instrument from every call site.
+func TestProbeNilSafe(t *testing.T) {
+	var p *Probe
+	if t0 := p.Start(); t0 != 0 {
+		t.Fatalf("nil probe Start = %d, want 0", t0)
+	}
+	p.Done(0)
+	p.DoneN(0, 4)
+	p.Observe(7)
+	if p.EWMA() != 0 || p.Count() != 0 || p.SampleEvery() != 0 {
+		t.Fatal("nil probe accessors must read zero")
+	}
+	if s := p.Snapshot(); s != (ProbeSnapshot{}) {
+		t.Fatalf("nil probe snapshot = %+v, want zero", s)
+	}
+
+	var pf *Profiler
+	pf.Register(nil)
+	if s := pf.Snapshot(); s.Backend != "" || s.PadBatch.Count != 0 {
+		t.Fatal("nil profiler snapshot must be zero")
+	}
+}
+
+// TestProbeEWMA checks convergence: a constant stream converges to the
+// constant, and a step change moves the estimate toward the new level.
+func TestProbeEWMA(t *testing.T) {
+	p := NewProbe(1)
+	for i := 0; i < 100; i++ {
+		p.Observe(1000)
+	}
+	if got := p.EWMA(); got != 1000 {
+		t.Fatalf("constant-stream EWMA = %v, want 1000", got)
+	}
+	for i := 0; i < 100; i++ {
+		p.Observe(2000)
+	}
+	if got := p.EWMA(); got < 1990 || got > 2000 {
+		t.Fatalf("post-step EWMA = %v, want ≈2000", got)
+	}
+}
+
+// TestProbeConcurrent hammers one probe from many goroutines: no
+// torn state, counts add up (folded + dropped == selected samples),
+// and the estimates stay within the observed value range.
+func TestProbeConcurrent(t *testing.T) {
+	p := NewProbe(4)
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p.Observe(int64(100 + (w+i)%100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := p.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Sampled+s.Dropped != s.Count/4 {
+		t.Fatalf("sampled %d + dropped %d != selected %d", s.Sampled, s.Dropped, s.Count/4)
+	}
+	if s.EWMA < 100 || s.EWMA > 199 {
+		t.Fatalf("EWMA %v outside observed range [100, 199]", s.EWMA)
+	}
+	if s.P50 < 100 || s.P99 > 199 {
+		t.Fatalf("quantiles p50=%v p99=%v outside observed range", s.P50, s.P99)
+	}
+}
+
+// TestProbeNoAllocs gates the hot-path contract: Start/Done and
+// Observe must not allocate, sampled or not.
+func TestProbeNoAllocs(t *testing.T) {
+	p := NewProbe(4)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		p.Done(p.Start())
+	}); allocs != 0 {
+		t.Errorf("Start/Done allocates %.1f per op, want 0", allocs)
+	}
+	var v int64
+	if allocs := testing.AllocsPerRun(1000, func() {
+		v++
+		p.Observe(v)
+	}); allocs != 0 {
+		t.Errorf("Observe allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,96 @@
+package prof
+
+import "testing"
+
+// TestSLOStateMachine walks the evaluator through the three states on
+// each check and pins the worst-check-wins aggregation.
+func TestSLOStateMachine(t *testing.T) {
+	e := NewEvaluator(SLOConfig{
+		SubmitP99Ns:     1_000_000, // 1ms
+		MaxDegradedFrac: 0.10,
+		MaxDropFrac:     0.01,
+	})
+
+	// First eval: within every limit; fraction checks have no window
+	// yet and read 0.
+	h := e.Eval(SLOInput{SubmitP99Ns: 500_000, Writes: 100, DegradedWrites: 50})
+	if h.State != StateOK {
+		t.Fatalf("first eval state = %v, want OK", h.State)
+	}
+
+	// Second eval: 20 degraded of 100 new writes = 0.20 > 0.10 limit
+	// but ≤ 0.20 fail threshold → DEGRADED.
+	h = e.Eval(SLOInput{SubmitP99Ns: 500_000, Writes: 200, DegradedWrites: 70})
+	if h.State != StateDegraded {
+		t.Fatalf("degraded-frac eval state = %v, want DEGRADED", h.State)
+	}
+	if got := h.Checks[1].Value; got != 0.20 {
+		t.Fatalf("degraded frac = %v, want 0.20 (windowed, not cumulative)", got)
+	}
+
+	// Third eval: p99 at 3ms > 1ms×2 → FAILING dominates even though
+	// the degraded fraction recovered.
+	h = e.Eval(SLOInput{SubmitP99Ns: 3_000_000, Writes: 300, DegradedWrites: 70})
+	if h.State != StateFailing {
+		t.Fatalf("p99 eval state = %v, want FAILING", h.State)
+	}
+	if e.Last().State != StateFailing {
+		t.Fatalf("Last() = %v, want FAILING", e.Last().State)
+	}
+
+	// Fourth eval: everything back in budget → OK again.
+	h = e.Eval(SLOInput{SubmitP99Ns: 400_000, Writes: 400, DegradedWrites: 72})
+	if h.State != StateOK {
+		t.Fatalf("recovery eval state = %v, want OK", h.State)
+	}
+}
+
+// TestSLOZeroConfig: unset limits disable their checks, so an empty
+// config is always OK no matter the readings.
+func TestSLOZeroConfig(t *testing.T) {
+	e := NewEvaluator(SLOConfig{})
+	e.Eval(SLOInput{})
+	h := e.Eval(SLOInput{SubmitP99Ns: 1 << 40, Writes: 10, DegradedWrites: 10, Recorded: 1, Dropped: 100})
+	if h.State != StateOK {
+		t.Fatalf("zero-config state = %v, want OK", h.State)
+	}
+	for _, c := range h.Checks {
+		if c.State != StateOK {
+			t.Fatalf("check %s = %v, want OK with limit unset", c.Name, c.State)
+		}
+	}
+}
+
+// TestSLODropFraction pins the recorder-drop check's window math.
+func TestSLODropFraction(t *testing.T) {
+	e := NewEvaluator(SLOConfig{MaxDropFrac: 0.10, FailFactor: 3})
+	e.Eval(SLOInput{Recorded: 100, Dropped: 0})
+	// Window: 80 recorded, 20 dropped → 0.20 > 0.10, ≤ 0.30 → DEGRADED.
+	h := e.Eval(SLOInput{Recorded: 180, Dropped: 20})
+	if h.State != StateDegraded {
+		t.Fatalf("drop eval state = %v, want DEGRADED", h.State)
+	}
+	if got := h.Checks[2].Value; got != 0.20 {
+		t.Fatalf("drop frac = %v, want 0.20", got)
+	}
+	// Window: 10 recorded, 90 dropped → 0.90 > 0.30 → FAILING.
+	h = e.Eval(SLOInput{Recorded: 190, Dropped: 110})
+	if h.State != StateFailing {
+		t.Fatalf("drop eval state = %v, want FAILING", h.State)
+	}
+}
+
+// TestHealthStateText pins the wire names /health clients parse.
+func TestHealthStateText(t *testing.T) {
+	for st, want := range map[HealthState]string{
+		StateOK: "OK", StateDegraded: "DEGRADED", StateFailing: "FAILING",
+	} {
+		if st.String() != want {
+			t.Fatalf("state %d String = %q, want %q", st, st.String(), want)
+		}
+		b, err := st.MarshalText()
+		if err != nil || string(b) != want {
+			t.Fatalf("state %d MarshalText = %q, %v", st, b, err)
+		}
+	}
+}

@@ -22,6 +22,8 @@ import (
 	"sync"
 
 	"counterlight/internal/obs"
+	"counterlight/internal/obs/flight"
+	"counterlight/internal/obs/prof"
 	"counterlight/internal/obs/timeseries"
 )
 
@@ -38,6 +40,13 @@ type Server struct {
 
 	mergedMu sync.Mutex
 	merged   []*obs.Registry // external registries (MergeRegistry)
+
+	// Self-observation surface (health.go): named profilers on
+	// /api/profile, the /health verdict source, the /api/flight ring.
+	obsMu     sync.Mutex
+	profilers map[string]*prof.Profiler
+	health    func() prof.Health
+	flight    *flight.Ring
 
 	mu   sync.Mutex
 	http *http.Server
@@ -89,6 +98,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/runs/{id}/series", s.handleSeries)
 	s.mux.HandleFunc("GET /api/attrib", s.handleAttrib)
 	s.mux.HandleFunc("GET /api/stream", s.handleStream)
+	s.mux.HandleFunc("GET /api/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /api/slo", s.handleSLO)
+	s.mux.HandleFunc("GET /api/flight", s.handleFlight)
+	s.mux.HandleFunc("GET /health", s.handleHealth)
 
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
