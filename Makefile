@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-backends race vet fmt check checkers concurrent-race serve bench bench-json fuzz clean
+.PHONY: build test test-backends race vet fmt check checkers concurrent-race crash-race serve bench bench-json fuzz clean
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,16 @@ checkers:
 concurrent-race:
 	$(GO) test -race ./internal/mcpool/... ./internal/check/... -run Concurrent
 
+# The crash-injection campaign under the race detector: every seed's
+# program runs on the NVM persistence engine, power fails at a
+# seed-derived step, and recovery is diffed bit-for-bit against a
+# never-crashed oracle. The -crash-break leg arms the intentional
+# recovery bug and demands it be caught (teeth check).
+crash-race:
+	$(GO) test -race ./internal/nvm/... ./internal/check/... -run 'Crash|Recover|Flush'
+	$(GO) run -race ./cmd/clcheck -crash -seeds 200 -j 8
+	$(GO) run -race ./cmd/clcheck -crash-break -seeds 20 -j 8
+
 # Run the sharded engine as a standing service with live metrics.
 serve:
 	$(GO) run ./cmd/clserve -conns 8 -duration 0 -addr 127.0.0.1:8091
@@ -66,6 +76,8 @@ bench-json:
 # per invocation). FUZZTIME=5m for a longer local hunt.
 fuzz:
 	$(GO) test ./internal/check -run '^$$' -fuzz FuzzEngineOps -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/check -run '^$$' -fuzz FuzzCrashPoints -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mcpool -run '^$$' -fuzz FuzzJournalDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzMetadataDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzEccRecovery -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/entropy -run '^$$' -fuzz FuzzEntropyClassifier -fuzztime $(FUZZTIME)

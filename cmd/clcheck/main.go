@@ -11,6 +11,8 @@
 //	clcheck -repro Y2xrMQZhZXMxMjgB...
 //	clcheck -seeds 4 -schemes
 //	clcheck -seeds 64 -cipher stdlib  # engines on hardware-class AES, oracle on ref
+//	clcheck -crash -seeds 200         # crash-injection campaign over the NVM engine
+//	clcheck -crash-break -seeds 20    # teeth check: broken recovery must be caught
 package main
 
 import (
@@ -37,6 +39,8 @@ func main() {
 	campaignFile := flag.String("campaign", "", "load a campaign spec from this JSON file (overrides the generator flags)")
 	repro := flag.String("repro", "", "replay one repro token instead of running a campaign")
 	concurrent := flag.Bool("concurrent", false, "run the concurrent differential campaign: race each program through the sharded mcpool engine, then verify the applied-op journals against serialized replays")
+	crash := flag.Bool("crash", false, "run the crash-injection campaign: each program runs on the NVM persistence engine, power fails at a seed-derived step, and the recovered state is diffed against a never-crashed oracle")
+	crashBreak := flag.Bool("crash-break", false, "with the crash campaign: arm the intentional recovery bug; the campaign must catch it (teeth check, exit 0 iff divergences were found)")
 	adaptive := flag.Bool("adaptive", false, "with -concurrent: enable the measurement-driven adaptive watermark so its moves race the replay")
 	flightPath := flag.String("flight", "", "with -concurrent: write the flight recorder dump to this path when a divergence is found")
 	schemes := flag.Bool("schemes", false, "also sweep every registered timing scheme's Result invariants over the seeds")
@@ -57,6 +61,9 @@ func main() {
 	}
 	if *concurrent {
 		os.Exit(concurrentCampaign(*seeds, *seedStart, *jobs, *metricsFile, *adaptive, *flightPath))
+	}
+	if *crash || *crashBreak {
+		os.Exit(crashCampaign(*seeds, *seedStart, *jobs, *metricsFile, *crashBreak, *flightPath, *tokensFile))
 	}
 
 	spec := check.DefaultCampaign(*seeds, *seedStart)
@@ -182,14 +189,97 @@ func concurrentCampaign(seeds int, seedStart int64, jobs int, metricsFile string
 	return 0
 }
 
+// crashCampaign runs the crash-injection verification campaign: every
+// seed's program runs through the NVM persistence engine per variant,
+// a seed-derived crash point cuts power, recovery rebuilds the engine,
+// and the recovered state is diffed against a never-crashed oracle of
+// the durable prefix. Exit 1 on any divergence — unless breakRecovery
+// is set, in which case the campaign is a teeth check and exits 0 only
+// if the deliberately broken recovery WAS caught.
+func crashCampaign(seeds int, seedStart int64, jobs int, metricsFile string, breakRecovery bool, flightPath, tokensFile string) int {
+	pool := figures.NewRunner(true)
+	pool.Workers = jobs
+	reg := obs.NewRegistry()
+	ccfg := check.CrashCampaignConfig{BreakRecovery: breakRecovery}
+	var rec *flight.Ring
+	if flightPath != "" {
+		rec = flight.NewRing(4096)
+		ccfg.Flight = rec
+	}
+	report, err := check.RunCrashCampaign(seeds, seedStart, ccfg, pool, reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clcheck: crash: %v\n", err)
+		return 1
+	}
+	fmt.Printf("crash campaign: %d programs, %d ops, %d crashes fired, %d journal entries replayed\n",
+		report.Programs, report.Ops, report.Crashes, report.Replayed)
+	var tokens []string
+	for _, f := range report.Failures {
+		fmt.Printf("seed %d [%s]: DIVERGED after recovery [%s]: %s\n", f.Seed, f.Variant, f.Div.Kind, f.Div.Detail)
+		if f.Token != "" {
+			fmt.Printf("  minimized repro: clcheck -repro %s\n", f.Token)
+			tokens = append(tokens, f.Token)
+		}
+	}
+	if tokensFile != "" && len(tokens) > 0 {
+		if err := os.WriteFile(tokensFile, []byte(strings.Join(tokens, "\n")+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "clcheck: tokens: %v\n", err)
+			return 1
+		}
+	}
+	if metricsFile != "" {
+		writeMetrics(metricsFile, reg)
+	}
+	if !report.OK() && rec != nil {
+		if err := rec.DumpFile(flightPath); err != nil {
+			fmt.Fprintf(os.Stderr, "clcheck: flight: %v\n", err)
+		} else {
+			fmt.Printf("wrote flight dump (%d events, %d evicted) to %s\n",
+				rec.Recorded(), rec.Evicted(), flightPath)
+		}
+	}
+	if breakRecovery {
+		if report.OK() {
+			fmt.Println("FAIL: broken recovery was armed and the campaign caught nothing — the crash harness has no teeth")
+			return 1
+		}
+		fmt.Printf("ok: broken recovery caught on %d run(s) and minimized to replayable tokens\n", len(report.Failures))
+		return 0
+	}
+	if !report.OK() {
+		fmt.Printf("FAIL: %d diverging run(s)\n", len(report.Failures))
+		return 1
+	}
+	fmt.Println("ok: every recovery was bit-identical to the never-crashed oracle")
+	return 0
+}
+
 // replayToken parses and replays one repro token, reporting whether the
 // recorded divergence still reproduces. Exit 1 on divergence (the
-// failure is live), 0 when the program runs clean (fixed).
+// failure is live), 0 when the program runs clean (fixed). Crash
+// tokens replay through the NVM crash/recover/diff pipeline.
 func replayToken(token string) int {
 	r, err := check.ParseToken(token)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clcheck: bad token: %v\n", err)
 		return 2
+	}
+	if r.Crash {
+		fmt.Printf("replaying crash repro: variant %s, eccOff %v, %d ops, %d blocks, crash step %d, break-recovery %v\n",
+			r.Variant, r.ECCOff, len(r.Program.Ops), r.Program.Blocks, r.CrashStep, r.BreakRecovery)
+		res, err := check.CrashReplay(r, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clcheck: %v\n", err)
+			return 2
+		}
+		if res.Div != nil {
+			fmt.Printf("DIVERGED after recovery (crashed=%v, %d/%d ops applied, %d entries replayed) [%s]: %s\n",
+				res.Crashed, res.Applied, res.Ops, res.Report.Replayed, res.Div.Kind, res.Div.Detail)
+			return 1
+		}
+		fmt.Printf("clean: crashed=%v at step %d, %d/%d ops applied, recovery replayed %d entries — recovery is exact\n",
+			res.Crashed, r.CrashStep, res.Applied, res.Ops, res.Report.Replayed)
+		return 0
 	}
 	fmt.Printf("replaying: variant %s, eccOff %v, seed %d, %d ops, %d blocks\n",
 		r.Variant, r.ECCOff, r.Program.Seed, len(r.Program.Ops), r.Program.Blocks)

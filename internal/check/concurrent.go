@@ -53,9 +53,16 @@ type ConcurrentConfig struct {
 	// adaptation moves only the Auto degradation knee, never the
 	// ciphertext.
 	AdaptiveWatermark bool
+	// ECCOff disables trial-and-error correction in both the pool's
+	// shard engines and the serialized replay engines, so injected
+	// faults surface as raw DUEs instead of being healed — the cheap
+	// way to make a known-bad concurrent program for self-tests.
+	ECCOff bool
 	// Flight, when non-nil, is attached to the replay pool; on any
-	// divergence the harness records a KindDivergence event so the
-	// ring holds the moments leading up to the failure.
+	// divergence the harness records the failing shard's journal tail
+	// (KindJournal, newest last) followed by a KindDivergence event,
+	// so the ring holds the moments leading up to the failure and the
+	// exact op order that produced it.
 	Flight *flight.Ring
 }
 
@@ -120,6 +127,9 @@ func ConcurrentReplay(prog Program, ccfg ConcurrentConfig) (ConcurrentResult, er
 		if op.Kind == OpFault && op.Stuck {
 			return ConcurrentResult{}, fmt.Errorf("check: op %d: stuck-at faults are not replayable concurrently", i)
 		}
+		if op.Kind == OpFlush {
+			return ConcurrentResult{}, fmt.Errorf("check: op %d: NVM flush ops are not replayable concurrently", i)
+		}
 	}
 	pcfg := mcpool.Config{
 		Shards:      ccfg.Shards,
@@ -129,7 +139,7 @@ func ConcurrentReplay(prog Program, ccfg ConcurrentConfig) (ConcurrentResult, er
 		Journal:     true,
 		Attribution: ccfg.Attribution,
 		Flight:      ccfg.Flight,
-		Engine:      v.Options(false),
+		Engine:      v.Options(ccfg.ECCOff),
 	}
 	if ccfg.AdaptiveWatermark {
 		// Adapt as often as the pool allows so watermark moves race
@@ -197,7 +207,7 @@ func ConcurrentReplay(prog Program, ccfg ConcurrentConfig) (ConcurrentResult, er
 	covered := make([]bool, len(prog.Ops))
 	for s := 0; s < pool.NumShards() && res.Div == nil; s++ {
 		journal := pool.JournalOf(s)
-		c, err := newCheckerFor(v, false)
+		c, err := newCheckerFor(v, ccfg.ECCOff)
 		if err != nil {
 			pool.Close()
 			return res, err
@@ -281,6 +291,23 @@ func ConcurrentReplay(prog Program, ccfg ConcurrentConfig) (ConcurrentResult, er
 			res.Stats.EntropyResolved += st.EntropyResolved
 			res.Stats.DUEs += st.DUEs
 			res.Stats.MACFailures += st.MACFailures
+		}
+		if res.Div != nil {
+			// The failing shard's journal tail goes into the ring
+			// first, newest last, so the dump that follows the
+			// KindDivergence marker is self-contained: it shows the
+			// exact op order the pool chose leading into the failure.
+			tail := journal
+			if len(tail) > 16 {
+				tail = tail[len(tail)-16:]
+			}
+			for _, entry := range tail {
+				tag := int64(-1)
+				if t, ok := entry.Req.Tag.(int); ok {
+					tag = int64(t)
+				}
+				ccfg.Flight.Record(flight.KindJournal, int32(s), entry.Req.Addr, tag, int64(entry.Seq))
+			}
 		}
 	}
 	res.WatermarkMoves = pool.WatermarkMoves()

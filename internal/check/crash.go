@@ -1,0 +1,449 @@
+package check
+
+// Crash-consistency differential mode: generated programs run through
+// the NVM persistence engine with a crash point armed at an arbitrary
+// persistence step, power fails, recovery rebuilds the engine from the
+// durable regions, and the recovered state is diffed bit-for-bit
+// against a never-crashed oracle that replayed exactly the durable
+// prefix. Any disagreement — a lost block, a stale counter, a wrong
+// codeword, a different read-back — is a crash-consistency bug, and
+// shrinks to a replayable token just like the serial campaigns.
+//
+// The oracle is sound because the NVM engine journals every mutation
+// before its data persists: the durable journal entries always form a
+// prefix of the applied mutations (in op-tag order), so "replay every
+// mutating op with tag ≤ RecoveryReport.LastTag on a fresh engine"
+// reconstructs precisely the state a crash-free execution of the
+// durable prefix would have reached. Counter evolution matches because
+// the memoization table's shared write value W is a deterministic
+// function of the write sequence alone.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"counterlight/internal/core"
+	"counterlight/internal/ecc"
+	"counterlight/internal/fault"
+	"counterlight/internal/figures"
+	"counterlight/internal/nvm"
+	"counterlight/internal/obs"
+	"counterlight/internal/obs/flight"
+)
+
+// CrashResult is one crash-replay run: workload, crash, recovery,
+// diff.
+type CrashResult struct {
+	Variant string
+	Ops     int    // program length
+	Applied int    // ops fully applied before power failed
+	Crashed bool   // whether the armed crash point actually fired
+	Steps   uint64 // persistence steps the run executed
+	Report  nvm.RecoveryReport
+	// Div is the first disagreement between the recovered engine and
+	// the never-crashed oracle; nil means recovery was exact.
+	Div *Divergence
+}
+
+// resolveStuck materializes a stuck-at-zero fault's XOR pattern from
+// the engine's current codeword — the same point-in-time resolution
+// the serial checker uses, and deterministic across the NVM run and
+// the oracle because both apply the identical op prefix.
+func resolveStuck(e *core.Engine, op Op) uint64 {
+	if !op.Stuck {
+		return op.Pattern
+	}
+	cw, ok := e.Snapshot(uint64(op.Block) * 64)
+	if !ok {
+		return 1 // unwritten block: injection fails either way
+	}
+	var p uint64
+	switch {
+	case int(op.Chip) < ecc.DataChips:
+		p = cw.Data[op.Chip]
+	case int(op.Chip) == ecc.MACChip:
+		p = cw.MAC
+	default:
+		p = cw.Parity
+	}
+	if p == 0 {
+		p = 1
+	}
+	return p
+}
+
+// applyCrashOps drives prog through the NVM engine serially, tagging
+// each op with its index, until the program ends or power fails. It
+// returns the number of ops that fully completed; the only error it
+// can surface besides nvm.ErrCrashed is a genuine engine failure.
+func applyCrashOps(nv *nvm.Engine, v Variant, prog Program) (int, error) {
+	applied := 0
+	for i, op := range prog.Ops {
+		addr := uint64(op.Block) * 64
+		var err error
+		switch op.Kind {
+		case OpWrite:
+			err = nv.Write(int64(i), int(op.VM)%v.VMs, addr, op.Payload(), op.Mode)
+		case OpRead:
+			_, _, err = nv.Read(addr)
+			if err != nil && err != nvm.ErrCrashed {
+				err = nil // DUEs and unwritten reads are data, not failures
+			}
+		case OpFault:
+			err = nv.InjectFault(int64(i), addr, int(op.Chip), resolveStuck(nv.Core(), op))
+			if err != nil && err != nvm.ErrCrashed {
+				err = nil // fault on a never-written block is a no-op
+			}
+		case OpFlush:
+			err = nv.Flush()
+		}
+		if err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// CrashReplay runs the repro's program through the NVM engine with its
+// crash point armed, recovers from the resulting domain, and diffs the
+// recovered state bit-for-bit against a never-crashed oracle of the
+// durable prefix. fl may be nil; when set, the crash, the recovery,
+// and any divergence land in the ring. Divergences are data, not
+// errors; the returned error is a setup failure only.
+func CrashReplay(r Repro, fl *flight.Ring) (CrashResult, error) {
+	v, err := VariantByName(r.Variant)
+	if err != nil {
+		return CrashResult{}, err
+	}
+	cfg := nvm.Config{Engine: v.Options(r.ECCOff), Flight: fl, BreakRecovery: r.BreakRecovery}
+	nv, err := nvm.New(cfg)
+	if err != nil {
+		return CrashResult{}, err
+	}
+	res := CrashResult{Variant: v.Name, Ops: len(r.Program.Ops)}
+	if r.Crash && r.CrashStep > 0 {
+		nv.ArmCrash(&fault.CrashPoint{Step: r.CrashStep})
+	}
+	applied, err := applyCrashOps(nv, v, r.Program)
+	if err != nil && err != nvm.ErrCrashed {
+		return res, err
+	}
+	res.Applied = applied
+	res.Crashed = nv.Crashed()
+	res.Steps = nv.Domain().Steps()
+
+	rec, rep, rerr := nvm.Recover(nv.Domain(), cfg)
+	res.Report = rep
+	if rerr != nil {
+		res.Div = div("recovery-failed", "recovery errored: %v", rerr)
+		res.Div.OpIndex = applied
+		fl.Record(flight.KindDivergence, -1, 0, int64(applied), 0)
+		return res, nil
+	}
+
+	// Never-crashed oracle: a fresh engine replaying exactly the
+	// durable prefix — every mutating op whose tag recovery reports
+	// as durable, in program order. Reads never touch durable state
+	// and are skipped.
+	oracle, err := core.NewEngine(v.Options(r.ECCOff))
+	if err != nil {
+		return res, err
+	}
+	for i, op := range r.Program.Ops {
+		if int64(i) > rep.LastTag {
+			break
+		}
+		addr := uint64(op.Block) * 64
+		switch op.Kind {
+		case OpWrite:
+			if werr := oracle.WriteAs(int(op.VM)%v.VMs, addr, op.Payload(), op.Mode); werr != nil {
+				return res, fmt.Errorf("check: crash oracle write op %d: %w", i, werr)
+			}
+		case OpFault:
+			// Unwritten-block faults fail here exactly as they failed
+			// (and went unjournaled) in the NVM run.
+			_ = oracle.InjectFault(addr, int(op.Chip), resolveStuck(oracle, op))
+		}
+	}
+	res.Div = diffRecovered(rec.Core(), oracle)
+	if res.Div != nil {
+		res.Div.OpIndex = applied
+		fl.Record(flight.KindDivergence, -1, 0, int64(applied), 0)
+	}
+	return res, nil
+}
+
+// diffRecovered compares a recovered engine against the oracle over
+// the union of their block sets: codeword, counter, permanent-
+// counterless flag, VM ownership, and the externally visible read-back
+// (plaintext + error status) must all match exactly.
+func diffRecovered(re, oracle *core.Engine) *Divergence {
+	want, got := oracle.Blocks(), re.Blocks()
+	wantSet := make(map[uint64]bool, len(want))
+	for _, a := range want {
+		wantSet[a] = true
+	}
+	for _, a := range got {
+		if !wantSet[a] {
+			return div("recovery-extra-block", "block %#x exists after recovery but not in the never-crashed oracle", a)
+		}
+	}
+	gotSet := make(map[uint64]bool, len(got))
+	for _, a := range got {
+		gotSet[a] = true
+	}
+	for _, a := range want {
+		if !gotSet[a] {
+			return div("recovery-lost-block", "block %#x present in the oracle but lost by recovery", a)
+		}
+	}
+	for _, a := range want {
+		ocw, _ := oracle.Snapshot(a)
+		rcw, _ := re.Snapshot(a)
+		if ocw != rcw {
+			return div("recovery-codeword", "block %#x codeword differs after recovery", a)
+		}
+		if oc, rc := oracle.Counters().Counter(a), re.Counters().Counter(a); oc != rc {
+			return div("recovery-counter", "block %#x counter %d after recovery, oracle says %d", a, rc, oc)
+		}
+		if op, rp := oracle.IsPermanentCounterless(a), re.IsPermanentCounterless(a); op != rp {
+			return div("recovery-permcl", "block %#x permanently-counterless=%v after recovery, oracle says %v", a, rp, op)
+		}
+		if ov, rv := oracle.VMOf(a), re.VMOf(a); ov != rv {
+			return div("recovery-vm", "block %#x owned by VM %d after recovery, oracle says %d", a, rv, ov)
+		}
+		oplain, _, oerr := oracle.Read(a)
+		rplain, _, rerr := re.Read(a)
+		if (oerr == nil) != (rerr == nil) {
+			return div("recovery-read", "block %#x read ok=%v after recovery, oracle ok=%v (recovered: %v, oracle: %v)",
+				a, rerr == nil, oerr == nil, rerr, oerr)
+		}
+		if oerr == nil && oplain != rplain {
+			return div("recovery-read", "block %#x reads back different plaintext after recovery", a)
+		}
+	}
+	return nil
+}
+
+// crashSeedSalt decorrelates the crash-step draw from the program
+// generator's rng stream, so the same seed yields independent workload
+// and crash-point choices.
+const crashSeedSalt = 0xc7a54c0de
+
+// GenerateCrashRepro derives a crash repro from the seed alone: the
+// seed's program, plus a crash step drawn uniformly from the run's
+// actual persistence-step count (measured by a crash-free dry run), so
+// crashes land between journal halves, mid-batch, and mid-flush alike.
+func GenerateCrashRepro(seed int64, variant string, cfg GenConfig) (Repro, error) {
+	v, err := VariantByName(variant)
+	if err != nil {
+		return Repro{}, err
+	}
+	prog := Generate(seed, cfg)
+	nv, err := nvm.New(nvm.Config{Engine: v.Options(false)})
+	if err != nil {
+		return Repro{}, err
+	}
+	if _, err := applyCrashOps(nv, v, prog); err != nil {
+		return Repro{}, err
+	}
+	r := Repro{Variant: variant, Program: prog, Crash: true}
+	if steps := nv.Domain().Steps(); steps > 0 {
+		r.CrashStep = 1 + splitmix(uint64(seed)^crashSeedSalt)%steps
+	}
+	return r, nil
+}
+
+// ShrinkCrash minimizes a diverging crash repro: ddmin over the op
+// sequence, crash-step halving toward the earliest still-failing
+// step, then payload/pattern canonicalization. Any divergence counts
+// as a failure, so a shrink that surfaces a simpler crash bug wins.
+func ShrinkCrash(r Repro) Repro {
+	fails := func(cand Repro) bool {
+		res, err := CrashReplay(cand, nil)
+		return err == nil && res.Div != nil
+	}
+	if !fails(r) {
+		return r
+	}
+	p := cloneProgram(r.Program)
+	with := func(prog Program) Repro {
+		out := r
+		out.Program = prog
+		return out
+	}
+
+	// ddmin: remove op chunks, halving the chunk size on a pass with
+	// no progress. Removing ops shifts where the fixed crash step
+	// lands; the failure class may change, and that is fine.
+	for chunk := max(1, len(p.Ops)/2); chunk >= 1; {
+		removed := false
+		for start := 0; start < len(p.Ops); {
+			end := start + chunk
+			if end > len(p.Ops) {
+				end = len(p.Ops)
+			}
+			cand := p
+			cand.Ops = append(append([]Op(nil), p.Ops[:start]...), p.Ops[end:]...)
+			if len(cand.Ops) > 0 && fails(with(cand)) {
+				p = cand
+				removed = true
+			} else {
+				start = end
+			}
+		}
+		if !removed {
+			if chunk == 1 {
+				break
+			}
+			chunk /= 2
+		}
+		if chunk > len(p.Ops) && len(p.Ops) > 0 {
+			chunk = len(p.Ops)
+		}
+	}
+
+	// Pull the crash earlier by halving: a smaller durable prefix is a
+	// smaller failure explanation.
+	for r.Crash && r.CrashStep > 1 {
+		cand := with(p)
+		cand.CrashStep = r.CrashStep / 2
+		if !fails(cand) {
+			break
+		}
+		r.CrashStep = cand.CrashStep
+	}
+
+	// Canonicalize payloads and fault patterns, as in Shrink.
+	for i := range p.Ops {
+		op := p.Ops[i]
+		switch op.Kind {
+		case OpWrite:
+			if op.Pay != PayZero || op.PaySeed != 0 {
+				cand := cloneProgram(p)
+				cand.Ops[i].Pay = PayZero
+				cand.Ops[i].PaySeed = 0
+				if fails(with(cand)) {
+					p = cand
+				}
+			}
+		case OpFault:
+			if op.Stuck || op.Pattern != 1 {
+				cand := cloneProgram(p)
+				cand.Ops[i].Stuck = false
+				cand.Ops[i].Pattern = 1
+				if fails(with(cand)) {
+					p = cand
+				}
+			}
+		}
+	}
+	return with(p)
+}
+
+// CrashCampaignConfig shapes a crash-injection campaign.
+type CrashCampaignConfig struct {
+	// Variants to run each seed on; default {"aes128", "ctr-sat"} —
+	// the base matrix plus the saturation-heavy variant whose
+	// permanent-counterless transitions are the hardest metadata to
+	// recover.
+	Variants []string
+	// Gen shapes program generation; the zero value means
+	// CrashGenConfig() (the defaults plus explicit flushes).
+	Gen GenConfig
+	// BreakRecovery arms the intentional recovery bug on every run —
+	// the campaign's own teeth-check.
+	BreakRecovery bool
+	// Flight, when non-nil, receives crash/recovery/divergence events.
+	Flight *flight.Ring
+}
+
+// CrashFailure is one diverging seed of a crash campaign.
+type CrashFailure struct {
+	Seed    int64
+	Variant string
+	Div     Divergence
+	Token   string // shrunk repro token, replayable with clcheck -repro
+}
+
+// CrashReport aggregates one crash campaign.
+type CrashReport struct {
+	Programs int
+	Ops      int
+	Crashes  int // runs whose crash point actually fired
+	Replayed int // journal entries replayed across all recoveries
+	Failures []CrashFailure
+}
+
+// OK reports whether the campaign found no divergences.
+func (r CrashReport) OK() bool { return len(r.Failures) == 0 }
+
+// RunCrashCampaign generates seeds crash repros per variant and runs
+// each through CrashReplay, fanning work over the Runner's pool.
+// Failures are shrunk to tokens. Statistics land in reg under
+// check_crash_* names; pass nil to skip metrics.
+func RunCrashCampaign(seeds int, seedStart int64, ccfg CrashCampaignConfig, pool *figures.Runner, reg *obs.Registry) (CrashReport, error) {
+	if len(ccfg.Variants) == 0 {
+		ccfg.Variants = []string{"aes128", "ctr-sat"}
+	}
+	gen := ccfg.Gen
+	if gen.Ops == 0 {
+		gen = CrashGenConfig()
+	}
+	report := CrashReport{}
+	var mu sync.Mutex
+	var tasks []func() error
+	for i := 0; i < seeds; i++ {
+		seed := seedStart + int64(i)
+		for _, variant := range ccfg.Variants {
+			tasks = append(tasks, func() error {
+				r, err := GenerateCrashRepro(seed, variant, gen)
+				if err != nil {
+					return err
+				}
+				r.BreakRecovery = ccfg.BreakRecovery
+				res, err := CrashReplay(r, ccfg.Flight)
+				if err != nil {
+					return err
+				}
+				var fail *CrashFailure
+				if res.Div != nil {
+					shrunk := ShrinkCrash(r)
+					fail = &CrashFailure{Seed: seed, Variant: variant, Div: *res.Div, Token: shrunk.Token()}
+				}
+				mu.Lock()
+				report.Programs++
+				report.Ops += res.Ops
+				if res.Crashed {
+					report.Crashes++
+				}
+				report.Replayed += res.Report.Replayed
+				if fail != nil {
+					report.Failures = append(report.Failures, *fail)
+				}
+				mu.Unlock()
+				return nil
+			})
+		}
+	}
+	if err := pool.Do(tasks...); err != nil {
+		return report, err
+	}
+	sort.Slice(report.Failures, func(i, j int) bool {
+		if report.Failures[i].Seed != report.Failures[j].Seed {
+			return report.Failures[i].Seed < report.Failures[j].Seed
+		}
+		return report.Failures[i].Variant < report.Failures[j].Variant
+	})
+	if reg != nil {
+		labels := []obs.Label{{Key: "campaign", Value: "crash"}}
+		reg.Counter("check_crash_programs_total", labels...).Add(uint64(report.Programs))
+		reg.Counter("check_crash_ops_total", labels...).Add(uint64(report.Ops))
+		reg.Counter("check_crash_crashes_total", labels...).Add(uint64(report.Crashes))
+		reg.Counter("check_crash_replayed_total", labels...).Add(uint64(report.Replayed))
+		reg.Counter("check_crash_divergences_total", labels...).Add(uint64(len(report.Failures)))
+	}
+	return report, nil
+}

@@ -20,6 +20,7 @@ type GenConfig struct {
 	FaultRate float64 // per-op probability of a fault injection
 	BurstRate float64 // per-op probability of an epoch-boundary write burst
 	FlipRate  float64 // per-op probability the ambient writeback mode flips
+	FlushRate float64 // per-op probability of an NVM flush (crash programs; 0 draws no rng)
 	Kinds     []fault.Kind
 	Regions   []fault.Region
 }
@@ -37,6 +38,15 @@ func DefaultGenConfig() GenConfig {
 		Kinds:     []fault.Kind{fault.SingleChip, fault.DoubleChip, fault.StuckAtZero, fault.BitFlip},
 		Regions:   []fault.Region{fault.AnyRegion, fault.DataRegion, fault.MACRegion, fault.ParityRegion},
 	}
+}
+
+// CrashGenConfig is the crash campaign's generator shape: the classic
+// defaults plus explicit NVM flushes, so crash points land before,
+// inside, and after snapshot writes as well as between journal ops.
+func CrashGenConfig() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.FlushRate = 0.02
+	return cfg
 }
 
 // Generate derives a program from the seed alone: same seed and
@@ -99,6 +109,13 @@ func Generate(seed int64, cfg GenConfig) Program {
 	}
 
 	for len(p.Ops) < cfg.Ops {
+		// Explicit flushes only exist in crash programs; the guard
+		// keeps FlushRate == 0 from consuming rng draws, so classic
+		// campaign seeds keep generating identical programs.
+		if cfg.FlushRate > 0 && rng.Float64() < cfg.FlushRate {
+			p.Ops = append(p.Ops, Op{Kind: OpFlush})
+			continue
+		}
 		if rng.Float64() < cfg.FlipRate {
 			if mode == epoch.CounterMode {
 				mode = epoch.Counterless

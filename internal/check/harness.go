@@ -99,6 +99,9 @@ func Replay(r Repro) (RunResult, error) {
 			res.Reads = append(res.Reads, out)
 		case OpFault:
 			div = c.fault(op)
+		case OpFlush:
+			// NVM-only: the serial engine has no persistence domain, so
+			// a flush changes nothing observable here.
 		}
 		if div != nil {
 			div.OpIndex = i

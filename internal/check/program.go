@@ -19,6 +19,9 @@ const (
 	OpRead
 	// OpFault XORs a pattern into one chip of a stored block.
 	OpFault
+	// OpFlush drains the NVM write-pending metadata queue (crash
+	// programs only; serial and concurrent replay skip/reject it).
+	OpFlush
 )
 
 // PayloadKind selects how a write's plaintext is materialized.
@@ -102,11 +105,17 @@ type Program struct {
 }
 
 // Repro pairs a program with the engine variant it ran on — exactly
-// what a token must capture to replay a failure.
+// what a token must capture to replay a failure. Crash repros
+// additionally pin the persistence step at which power fails, so a
+// token replays the exact crash, not just the workload.
 type Repro struct {
 	Variant string
 	ECCOff  bool // run with trial-and-error correction disabled
 	Program Program
+
+	Crash         bool   // NVM crash repro: cut power at CrashStep
+	CrashStep     uint64 // 1-based persistence step the crash fires on
+	BreakRecovery bool   // arm the intentional recovery bug (self-test)
 }
 
 // Program/token size caps: decode rejects anything bigger, so a
@@ -127,7 +136,16 @@ func (r Repro) TokenBytes() []byte {
 	if r.ECCOff {
 		flags |= 1
 	}
+	if r.Crash {
+		flags |= 4
+	}
+	if r.BreakRecovery {
+		flags |= 8
+	}
 	buf = append(buf, flags)
+	if r.Crash {
+		buf = binary.AppendUvarint(buf, r.CrashStep)
+	}
 	buf = binary.AppendUvarint(buf, uint64(r.Program.Seed))
 	buf = binary.AppendUvarint(buf, uint64(r.Program.Blocks))
 	buf = binary.AppendUvarint(buf, uint64(len(r.Program.Ops)))
@@ -205,7 +223,18 @@ func parseTokenBytes(data []byte) (Repro, error) {
 		br.pos += nameLen
 	}
 	flags := br.u8()
+	if flags&^byte(1|4|8) != 0 {
+		return r, fmt.Errorf("check: unknown token flags %#x", flags)
+	}
 	r.ECCOff = flags&1 != 0
+	r.Crash = flags&4 != 0
+	r.BreakRecovery = flags&8 != 0
+	if r.BreakRecovery && !r.Crash {
+		return r, fmt.Errorf("check: break-recovery flag without crash flag")
+	}
+	if r.Crash {
+		r.CrashStep = br.uvarint()
+	}
 	r.Program.Seed = int64(br.uvarint())
 	blocks := br.uvarint()
 	nops := br.uvarint()
@@ -238,8 +267,8 @@ func parseTokenBytes(data []byte) (Repro, error) {
 			}
 			op.Pay = PayloadKind(p)
 			op.PaySeed = uint32(br.uvarint())
-		case OpRead:
-			// block only
+		case OpRead, OpFlush:
+			// block only (flush ignores it but keeps the frame uniform)
 		case OpFault:
 			op.Chip = br.u8()
 			fl := br.u8()

@@ -267,6 +267,27 @@ func (s *Store) refreshPathMACs(cbIdx uint64) {
 	}
 }
 
+// ForceCounter sets the data block's counter to exactly val and
+// refreshes the tree path so VerifyCounter passes afterwards. Unlike
+// Increment it accepts any value, including the current one: it is
+// the NVM recovery hook, replaying a journaled counter onto a fresh
+// store where the tree's absolute entry values are not recoverable
+// (only per-path consistency matters — the on-chip root was lost with
+// power anyway). Never use it on the writeback path.
+func (s *Store) ForceCounter(addr uint64, val uint32) {
+	bi := s.blockIndex(addr)
+	s.counters[bi] = val
+	// Bump the path entries exactly like Increment so replayed state
+	// keeps the parents-fresher-than-children shape.
+	idx := bi / CountersPerBlock
+	for level := 1; level < len(s.levelBlocks); level++ {
+		s.entries[level][idx]++
+		idx /= TreeArity
+	}
+	s.rootCounter++
+	s.refreshPathMACs(bi / CountersPerBlock)
+}
+
 // ReplayCounter models a physical replay attack: it reverts the data
 // block's counter and the counter block's MAC to earlier captured
 // values without touching the tree. VerifyCounter must subsequently

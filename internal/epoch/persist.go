@@ -1,0 +1,41 @@
+package epoch
+
+// State is the timeline-critical slice of a Monitor: the part that
+// must survive a power failure for the §IV-B mode policy to resume
+// where it left off instead of restarting cold (an epoch that was
+// already past the knee must not re-open in counter mode and burn
+// counter bandwidth the monitor had decided to shed). The obs
+// counters and the History log are measurement accounting, not
+// policy state; they restart at zero, exactly as after ResetStats.
+type State struct {
+	EpochStart    int64  // start of the in-flight epoch (ps)
+	Accesses      uint64 // accesses observed in the in-flight epoch
+	Mode          Mode   // writeback mode in effect right now
+	StartMode     Mode   // mode the in-flight epoch started in
+	NextFromStart Mode   // mode the next epoch will start in
+	Closed        uint64 // epochs closed since run start
+}
+
+// ExportState captures the monitor's timeline state for a metadata
+// flush.
+func (m *Monitor) ExportState() State {
+	return State{
+		EpochStart:    m.epochStart,
+		Accesses:      m.accesses,
+		Mode:          m.mode,
+		StartMode:     m.startMode,
+		NextFromStart: m.nextFromStart,
+		Closed:        m.closed,
+	}
+}
+
+// RestoreState rewinds the monitor's timeline to a previously
+// exported state. History and statistics are not restored.
+func (m *Monitor) RestoreState(st State) {
+	m.epochStart = st.EpochStart
+	m.accesses = st.Accesses
+	m.mode = st.Mode
+	m.startMode = st.StartMode
+	m.nextFromStart = st.NextFromStart
+	m.closed = st.Closed
+}

@@ -1,0 +1,91 @@
+package fault
+
+// Crash-point fault sites. Where the codeword sites in this package
+// flip bits in a rank, a crash point cuts power after an exact number
+// of NVM persistence steps — journal half-appends, data-codeword
+// persists, snapshot chunks, commits, truncations (see internal/nvm
+// for the step taxonomy). The persistence domain calls Fire with its
+// running step counter before every durable mutation; a firing point
+// means the power failed before that mutation reached the medium.
+
+// Arming selects whether an armed site fires once and disarms, or on
+// every subsequent match. One-shot is the crash-campaign setting (one
+// power failure per program); persistent arming models a medium that
+// keeps rejecting writes, and is what the write-error soak tests use.
+type Arming int
+
+const (
+	// OneShot sites fire on the first match and then disarm.
+	OneShot Arming = iota
+	// Persistent sites fire on every match.
+	Persistent
+)
+
+func (a Arming) String() string {
+	if a == Persistent {
+		return "persistent"
+	}
+	return "one-shot"
+}
+
+// CrashPoint is an armed persistence-step trigger. The zero value
+// (Step 0) never fires, so an unarmed domain costs one comparison per
+// step.
+type CrashPoint struct {
+	Step uint64 // 1-based persistence step to fire at; 0 = disarmed
+	Arm  Arming
+
+	fired bool
+	fires uint64
+}
+
+// Fire reports whether the crash fires at persistence step `step`
+// (steps count from 1). A OneShot point fires at the first step ≥
+// Step and then disarms; a Persistent point fires on every step ≥
+// Step. Matching is ≥, not ==, so a point armed mid-run behind the
+// counter still fires at the next step.
+func (c *CrashPoint) Fire(step uint64) bool {
+	if c == nil || c.Step == 0 || step < c.Step {
+		return false
+	}
+	if c.Arm == OneShot && c.fired {
+		return false
+	}
+	c.fired = true
+	c.fires++
+	return true
+}
+
+// Fired reports whether the point has fired at least once.
+func (c *CrashPoint) Fired() bool { return c != nil && c.fired }
+
+// Fires returns how many times the point has fired.
+func (c *CrashPoint) Fires() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.fires
+}
+
+// CrashSchedule derives n crash steps in [1, maxStep] from seed — a
+// campaign's injection schedule. Deterministic: the same seed always
+// yields the same schedule, so a failing (seed, step) pair replays
+// without recording anything beyond the seed.
+func CrashSchedule(seed int64, n int, maxStep uint64) []uint64 {
+	if maxStep == 0 {
+		maxStep = 1
+	}
+	out := make([]uint64, 0, n)
+	x := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for i := 0; i < n; i++ {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		out = append(out, 1+z%maxStep)
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"counterlight/internal/cipher"
+	"counterlight/internal/ecc"
+	"counterlight/internal/epoch"
+)
+
+// Region addressing is the campaign's aim: every region must expand to
+// exactly the chips it names, and Plan must only ever pick sites
+// inside the region it was given.
+func TestRegionChips(t *testing.T) {
+	cases := []struct {
+		region Region
+		want   []int
+	}{
+		{AnyRegion, []int{0, 1, 2, 3, 4, 5, 6, 7, ecc.MACChip, ecc.ParityChip}},
+		{DataRegion, []int{0, 1, 2, 3, 4, 5, 6, 7}},
+		{MACRegion, []int{ecc.MACChip}},
+		{ParityRegion, []int{ecc.ParityChip}},
+	}
+	for _, tc := range cases {
+		if got := tc.region.Chips(); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%v.Chips() = %v, want %v", tc.region, got, tc.want)
+		}
+	}
+}
+
+// Regions overlap by construction — AnyRegion covers all three narrow
+// regions, and the narrow regions partition it. Site matching against
+// overlapping regions must agree with that set algebra.
+func TestRegionOverlap(t *testing.T) {
+	inRegion := func(r Region, chip int) bool {
+		for _, c := range r.Chips() {
+			if c == chip {
+				return true
+			}
+		}
+		return false
+	}
+	for chip := 0; chip < ecc.TotalChips; chip++ {
+		if !inRegion(AnyRegion, chip) {
+			t.Errorf("chip %d not in AnyRegion", chip)
+		}
+		narrow := 0
+		for _, r := range []Region{DataRegion, MACRegion, ParityRegion} {
+			if inRegion(r, chip) {
+				narrow++
+			}
+		}
+		if narrow != 1 {
+			t.Errorf("chip %d matched %d narrow regions, want exactly 1", chip, narrow)
+		}
+	}
+	// MAC and parity regions are disjoint singletons.
+	if inRegion(MACRegion, ecc.ParityChip) || inRegion(ParityRegion, ecc.MACChip) {
+		t.Error("MAC and parity regions overlap")
+	}
+}
+
+// Plan must respect its region: every drawn site's first chip lies in
+// the region (DoubleChip's documented exception sends only the second
+// chip rank-wide).
+func TestPlanStaysInRegion(t *testing.T) {
+	e := newEngine(t)
+	var plain cipher.Block
+	const addr = 64
+	if err := e.Write(addr, plain, epoch.CounterMode); err != nil {
+		t.Fatal(err)
+	}
+	for _, region := range []Region{AnyRegion, DataRegion, MACRegion, ParityRegion} {
+		allowed := make(map[int]bool)
+		for _, c := range region.Chips() {
+			allowed[c] = true
+		}
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 100; trial++ {
+			for _, kind := range []Kind{SingleChip, DoubleChip, StuckAtZero, BitFlip} {
+				sites, err := Plan(rng, kind, region, e, addr)
+				if err != nil {
+					t.Fatalf("%v/%v: %v", kind, region, err)
+				}
+				if !allowed[sites[0].Chip] {
+					t.Fatalf("%v plan in %v picked chip %d outside the region", kind, region, sites[0].Chip)
+				}
+				for _, s := range sites {
+					if s.Pattern == 0 {
+						t.Fatalf("%v plan in %v drew an invisible zero pattern", kind, region)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Same seed, same plan: the generator consumes the rng once per
+// decision, so two walks of the same seed must produce identical site
+// sequences — the property every -repro token leans on.
+func TestPlanSeedDeterminism(t *testing.T) {
+	draw := func() [][]Site {
+		e := newEngine(t)
+		var plain cipher.Block
+		const addr = 64
+		if err := e.Write(addr, plain, epoch.CounterMode); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		var out [][]Site
+		for trial := 0; trial < 64; trial++ {
+			kind := []Kind{SingleChip, DoubleChip, StuckAtZero, BitFlip}[trial%4]
+			region := []Region{AnyRegion, DataRegion, MACRegion, ParityRegion}[trial%3]
+			sites, err := Plan(rng, kind, region, e, addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, sites)
+		}
+		return out
+	}
+	if a, b := draw(), draw(); !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different injection schedules")
+	}
+}
+
+// One-shot crash points fire exactly once; persistent points fire on
+// every step at or past their arming step.
+func TestCrashPointArming(t *testing.T) {
+	one := &CrashPoint{Step: 3}
+	var fires []uint64
+	for s := uint64(1); s <= 6; s++ {
+		if one.Fire(s) {
+			fires = append(fires, s)
+		}
+	}
+	if !reflect.DeepEqual(fires, []uint64{3}) {
+		t.Errorf("one-shot fired at %v, want [3]", fires)
+	}
+	if !one.Fired() || one.Fires() != 1 {
+		t.Errorf("one-shot: Fired=%v Fires=%d", one.Fired(), one.Fires())
+	}
+
+	per := &CrashPoint{Step: 3, Arm: Persistent}
+	fires = nil
+	for s := uint64(1); s <= 6; s++ {
+		if per.Fire(s) {
+			fires = append(fires, s)
+		}
+	}
+	if !reflect.DeepEqual(fires, []uint64{3, 4, 5, 6}) {
+		t.Errorf("persistent fired at %v, want [3 4 5 6]", fires)
+	}
+	if per.Fires() != 4 {
+		t.Errorf("persistent Fires = %d, want 4", per.Fires())
+	}
+
+	// A point armed behind the counter fires at the next step (≥, not ==).
+	late := &CrashPoint{Step: 2}
+	if !late.Fire(10) {
+		t.Error("late-armed point did not fire at the next step")
+	}
+
+	// The zero value and a nil pointer never fire.
+	var unarmed CrashPoint
+	var nilPoint *CrashPoint
+	for s := uint64(1); s <= 4; s++ {
+		if unarmed.Fire(s) || nilPoint.Fire(s) {
+			t.Fatal("disarmed crash point fired")
+		}
+	}
+	if nilPoint.Fired() || nilPoint.Fires() != 0 {
+		t.Error("nil crash point claims to have fired")
+	}
+}
+
+func TestArmingString(t *testing.T) {
+	if OneShot.String() != "one-shot" || Persistent.String() != "persistent" {
+		t.Errorf("Arming strings: %q, %q", OneShot.String(), Persistent.String())
+	}
+}
+
+// Same seed, same schedule — and every step lands in [1, maxStep].
+func TestCrashScheduleDeterminism(t *testing.T) {
+	a := CrashSchedule(42, 256, 1000)
+	b := CrashSchedule(42, 256, 1000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different crash schedules")
+	}
+	if len(a) != 256 {
+		t.Fatalf("schedule length %d, want 256", len(a))
+	}
+	for i, s := range a {
+		if s < 1 || s > 1000 {
+			t.Fatalf("schedule[%d] = %d outside [1, 1000]", i, s)
+		}
+	}
+	if c := CrashSchedule(43, 256, 1000); reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical schedules")
+	}
+	// maxStep 0 is clamped to 1, not a divide-by-zero.
+	for _, s := range CrashSchedule(1, 8, 0) {
+		if s != 1 {
+			t.Fatalf("maxStep=0 schedule produced step %d", s)
+		}
+	}
+}

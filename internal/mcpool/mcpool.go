@@ -173,6 +173,13 @@ type Config struct {
 	// replay (the concurrent differential harness). Off by default:
 	// journals grow with traffic.
 	Journal bool
+	// Persist additionally keeps each shard's journal in the
+	// persistent wire format (journal.go): every applied op is encoded
+	// with its resolved counter/metadata state and resulting codeword,
+	// so a fresh engine can be rebuilt from the bytes alone after a
+	// crash (Entry.Apply). Independent of Journal. Off by default for
+	// the same reason.
+	Persist bool
 	// Attribution enables per-op latency attribution: every Submit
 	// gets a pooled obs.Span that decomposes its end-to-end latency
 	// into queue / batch / service / writeback stages, recorded into
@@ -241,6 +248,12 @@ type shard struct {
 
 	journal []Applied
 	seq     uint64
+
+	// Persistent-journal state (Config.Persist): the encoded journal
+	// bytes and the seq covered by the last FlushBarrier — the durable
+	// flush epoch a recovery would rebuild from.
+	plog       []byte
+	durableSeq uint64
 
 	depth        obs.Gauge
 	batches      obs.Counter
@@ -753,11 +766,97 @@ func (p *Pool) apply(s *shard, req Request) Response {
 	default:
 		resp = Response{Err: fmt.Errorf("mcpool: unknown op kind %d", req.Kind)}
 	}
-	if journal {
+	if req.Kind != opBarrier && (journal || p.cfg.Persist) {
 		s.seq++
-		s.journal = append(s.journal, Applied{Seq: s.seq, Req: req, Resp: resp})
+		if journal {
+			s.journal = append(s.journal, Applied{Seq: s.seq, Req: req, Resp: resp})
+		}
+		if p.cfg.Persist {
+			s.plog = AppendEntry(s.plog, p.persistEntry(s, req, resp))
+		}
 	}
 	return resp
+}
+
+// persistEntry captures the resolved state of one applied op for the
+// persistent journal. Caller holds the shard lock, so the engine
+// probes see exactly the post-op state.
+func (p *Pool) persistEntry(s *shard, req Request, resp Response) Entry {
+	e := Entry{
+		Seq:     s.seq,
+		Kind:    req.Kind,
+		Addr:    req.Addr,
+		VM:      req.VM,
+		Mode:    resp.Mode,
+		Chip:    req.Chip,
+		Pattern: req.Pattern,
+	}
+	if t, ok := req.Tag.(int); ok {
+		e.Tag, e.HasTag = int64(t), true
+	} else if t, ok := req.Tag.(int64); ok {
+		e.Tag, e.HasTag = t, true
+	}
+	if req.Kind != OpRead && resp.Err == nil {
+		if cw, ok := s.eng.Snapshot(req.Addr); ok {
+			e.CW, e.HasCW = cw, true
+			e.Meta = cw.DecodeMeta()
+		}
+		e.Ctr = s.eng.Counters().Counter(req.Addr)
+		e.PermCL = s.eng.IsPermanentCounterless(req.Addr)
+	}
+	return e
+}
+
+// PersistedJournal returns a copy of shard i's encoded persistent
+// journal (empty unless Config.Persist was set). The bytes decode
+// with DecodeJournal and replay with Entry.Apply.
+func (p *Pool) PersistedJournal(i int) []byte {
+	s := p.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.plog...)
+}
+
+// FlushBarrier is Flush plus a durability mark: after every request
+// submitted before the call has been applied, each shard's current
+// apply seq is recorded as its durable flush epoch and returned
+// (indexed by shard). Requests journaled at or below the returned seq
+// are guaranteed present in the persisted journal bytes taken after
+// the call — the crash/recover lifecycle's "everything before the
+// barrier must survive" contract.
+func (p *Pool) FlushBarrier() []uint64 {
+	p.Flush()
+	out := make([]uint64, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		s.durableSeq = s.seq
+		out[i] = s.seq
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// DurableSeqs returns each shard's last FlushBarrier seq.
+func (p *Pool) DurableSeqs() []uint64 {
+	out := make([]uint64, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		out[i] = s.durableSeq
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// WithShardEngine runs fn with shard i's engine under the shard lock.
+// This is the recovery/verification seam: lifecycle tests compare a
+// journal-rebuilt engine against the live shard engine, and a
+// recovery path swaps state in, without mcpool exporting engine
+// internals. fn must not retain the engine past the call.
+func (p *Pool) WithShardEngine(i int, fn func(*core.Engine)) {
+	s := p.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.eng)
 }
 
 // JournalOf returns a copy of shard i's applied-op journal (empty

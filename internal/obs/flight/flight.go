@@ -57,6 +57,16 @@ const (
 	KindDivergence
 	// KindHealth: an SLO evaluation changed state (A = old, B = new).
 	KindHealth
+	// KindCrash: an NVM persistence domain lost power (A = persistence
+	// step at which the crash fired, B = journal sequence).
+	KindCrash
+	// KindRecovery: NVM recovery completed (A = journal entries
+	// replayed, B = seq of the snapshot slot recovered from).
+	KindRecovery
+	// KindJournal: one journal entry from the tail of a failing
+	// shard's journal, dumped so a divergence report is self-contained
+	// (Addr = op address, A = op tag, B = journal seq).
+	KindJournal
 )
 
 var kindNames = [...]string{
@@ -69,6 +79,9 @@ var kindNames = [...]string{
 	KindFault:       "fault",
 	KindDivergence:  "divergence",
 	KindHealth:      "health",
+	KindCrash:       "crash",
+	KindRecovery:    "recovery",
+	KindJournal:     "journal",
 }
 
 func (k Kind) String() string {
