@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test test-backends race vet fmt check checkers concurrent-race crash-race serve bench bench-json fuzz clean
+.PHONY: build test test-backends race vet fmt check checkers concurrent-race crash-race cluster-race serve bench bench-json fuzz clean
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,20 @@ crash-race:
 	$(GO) test -race ./internal/nvm/... ./internal/check/... -run 'Crash|Recover|Flush'
 	$(GO) run -race ./cmd/clcheck -crash -seeds 200 -j 8
 	$(GO) run -race ./cmd/clcheck -crash-break -seeds 20 -j 8
+
+# The cluster chaos campaign under the race detector: multi-node
+# routing and admission tests, generated programs through a live
+# cluster with a mid-traffic kill/restart (five oracle layers), the
+# broken-recovery teeth check, and a short clserve soak that kills a
+# node, recovers it through the NVM journal path, drains, and replays
+# every incarnation bit-for-bit.
+cluster-race:
+	$(GO) test -race ./internal/cluster/... -count=1
+	$(GO) test -race ./internal/check -run Cluster -count=1
+	$(GO) run -race ./cmd/clcheck -cluster -seeds 24 -j 8
+	$(GO) run -race ./cmd/clcheck -cluster-break -seeds 8 -j 8
+	$(GO) run -race ./cmd/clserve -nodes 2 -conns 16 -qps 1500 -duration 8s \
+		-chaos -chaos-at 2s -chaos-down 1s -verify -qps-tolerance 0.05
 
 # Run the sharded engine as a standing service with live metrics.
 serve:

@@ -13,6 +13,8 @@
 //	clcheck -seeds 64 -cipher stdlib  # engines on hardware-class AES, oracle on ref
 //	clcheck -crash -seeds 200         # crash-injection campaign over the NVM engine
 //	clcheck -crash-break -seeds 20    # teeth check: broken recovery must be caught
+//	clcheck -cluster -seeds 20        # cluster chaos campaign: kill/restart a node mid-traffic
+//	clcheck -cluster-break -seeds 8   # teeth check: broken node recovery must be caught
 package main
 
 import (
@@ -41,6 +43,9 @@ func main() {
 	concurrent := flag.Bool("concurrent", false, "run the concurrent differential campaign: race each program through the sharded mcpool engine, then verify the applied-op journals against serialized replays")
 	crash := flag.Bool("crash", false, "run the crash-injection campaign: each program runs on the NVM persistence engine, power fails at a seed-derived step, and the recovered state is diffed against a never-crashed oracle")
 	crashBreak := flag.Bool("crash-break", false, "with the crash campaign: arm the intentional recovery bug; the campaign must catch it (teeth check, exit 0 iff divergences were found)")
+	clusterMode := flag.Bool("cluster", false, "run the cluster chaos campaign: each program races through a multi-node cluster while a node is killed and restarted mid-traffic, then the full acknowledged history is verified bit-identical")
+	clusterBreak := flag.Bool("cluster-break", false, "with the cluster campaign: arm the intentional recovery bug on restarts; the campaign must catch it (teeth check, exit 0 iff divergences were found)")
+	nodes := flag.Int("nodes", 2, "with -cluster: controller nodes in the chaos cluster")
 	adaptive := flag.Bool("adaptive", false, "with -concurrent: enable the measurement-driven adaptive watermark so its moves race the replay")
 	flightPath := flag.String("flight", "", "with -concurrent: write the flight recorder dump to this path when a divergence is found")
 	schemes := flag.Bool("schemes", false, "also sweep every registered timing scheme's Result invariants over the seeds")
@@ -64,6 +69,9 @@ func main() {
 	}
 	if *crash || *crashBreak {
 		os.Exit(crashCampaign(*seeds, *seedStart, *jobs, *metricsFile, *crashBreak, *flightPath, *tokensFile))
+	}
+	if *clusterMode || *clusterBreak {
+		os.Exit(clusterCampaign(*seeds, *seedStart, *jobs, *nodes, *metricsFile, *clusterBreak, *flightPath))
 	}
 
 	spec := check.DefaultCampaign(*seeds, *seedStart)
@@ -186,6 +194,60 @@ func concurrentCampaign(seeds int, seedStart int64, jobs int, metricsFile string
 		return 1
 	}
 	fmt.Println("ok: zero divergences between concurrent and serialized execution")
+	return 0
+}
+
+// clusterCampaign runs the cluster chaos campaign: every seed's
+// program races through a multi-node cluster (journaled + persisted)
+// while the controller kills and restarts one node mid-traffic, then
+// the oracle stack — transport accounting, per-block order, seq
+// continuity, segment bit-identity, read-back — must come up clean.
+// Exit 1 on any divergence, unless breakRecovery turns the run into a
+// teeth check (exit 0 iff the armed bug WAS caught).
+func clusterCampaign(seeds int, seedStart int64, jobs, nodes int, metricsFile string, breakRecovery bool, flightPath string) int {
+	pool := figures.NewRunner(true)
+	pool.Workers = jobs
+	reg := obs.NewRegistry()
+	ccfg := check.ClusterConfig{Nodes: nodes, Chaos: true, BreakRecovery: breakRecovery}
+	var rec *flight.Ring
+	if flightPath != "" {
+		rec = flight.NewRing(4096)
+		ccfg.Flight = rec
+	}
+	report, err := check.RunClusterCampaign(seeds, seedStart, ccfg, pool, reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clcheck: cluster: %v\n", err)
+		return 1
+	}
+	fmt.Printf("cluster campaign: %d programs, %d ops over %d nodes — %d acked, %d shed in dark windows, %d kills, %d restarts\n",
+		report.Programs, report.Ops, nodes, report.Acked, report.Rejected, report.Kills, report.Restarts)
+	for _, f := range report.Failures {
+		fmt.Printf("seed %d: DIVERGED at op %d [%s]: %s\n", f.Seed, f.Div.OpIndex, f.Div.Kind, f.Div.Detail)
+	}
+	if metricsFile != "" {
+		writeMetrics(metricsFile, reg)
+	}
+	if !report.OK() && rec != nil {
+		if err := rec.DumpFile(flightPath); err != nil {
+			fmt.Fprintf(os.Stderr, "clcheck: flight: %v\n", err)
+		} else {
+			fmt.Printf("wrote flight dump (%d events, %d evicted) to %s\n",
+				rec.Recorded(), rec.Evicted(), flightPath)
+		}
+	}
+	if breakRecovery {
+		if report.OK() {
+			fmt.Println("FAIL: broken node recovery was armed and the campaign caught nothing — the chaos harness has no teeth")
+			return 1
+		}
+		fmt.Printf("ok: broken node recovery caught on %d run(s)\n", len(report.Failures))
+		return 0
+	}
+	if !report.OK() {
+		fmt.Printf("FAIL: %d diverging seed(s)\n", len(report.Failures))
+		return 1
+	}
+	fmt.Println("ok: every kill/restart replayed bit-identically and no acknowledged write was lost")
 	return 0
 }
 

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The pacing bug this table pins down: qps/conns truncates, so
+// -qps 100 -conns 64 paced every connection at 1 req/s (64 total, 36%
+// under target) and -qps 50 -conns 64 clamped UP to 64 total (28%
+// over). The interval must be conns*1s/qps exactly.
+func TestPaceInterval(t *testing.T) {
+	cases := []struct {
+		qps, conns int
+		want       time.Duration
+	}{
+		{qps: 0, conns: 8, want: 0},                       // closed loop
+		{qps: -5, conns: 8, want: 0},                      // closed loop
+		{qps: 100, conns: 4, want: 40 * time.Millisecond}, // divisible: unchanged
+		// Old code: 1s (36% under target).
+		{qps: 100, conns: 64, want: 640 * time.Millisecond},
+		// qps < conns; old code clamped to 1s (28% over target).
+		{qps: 50, conns: 64, want: 1280 * time.Millisecond},
+		{qps: 7, conns: 3, want: 3 * time.Second / 7}, // non-divisible both ways
+		{qps: 1, conns: 1, want: time.Second},
+	}
+	for _, c := range cases {
+		if got := paceInterval(c.qps, c.conns); got != c.want {
+			t.Errorf("paceInterval(%d, %d) = %s, want %s", c.qps, c.conns, got, c.want)
+		}
+		// The aggregate rate check: conns connections each pacing at
+		// the returned interval must attempt qps±1 requests per second.
+		if c.qps > 0 {
+			perSec := float64(c.conns) * float64(time.Second) / float64(paceInterval(c.qps, c.conns))
+			if diff := perSec - float64(c.qps); diff > 1 || diff < -1 {
+				t.Errorf("qps=%d conns=%d: aggregate rate %.2f/s", c.qps, c.conns, perSec)
+			}
+		}
+	}
+}
+
+// Bad sizing must be rejected at flag-validation time with a message
+// naming the offending flags, not minutes into a run.
+func TestValidate(t *testing.T) {
+	ok := runConfig{conns: 4, blocks: 64, nodes: 1, readFrac: 0.5}
+	if err := validate(ok); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*runConfig)
+		want string
+	}{
+		{"zero conns", func(rc *runConfig) { rc.conns = 0 }, "-conns"},
+		{"negative conns", func(rc *runConfig) { rc.conns = -3 }, "-conns"},
+		{"blocks below conns", func(rc *runConfig) { rc.blocks = 3 }, "-blocks"},
+		{"zero nodes", func(rc *runConfig) { rc.nodes = 0 }, "-nodes"},
+		{"negative qps", func(rc *runConfig) { rc.qps = -1 }, "-qps"},
+		{"read frac out of range", func(rc *runConfig) { rc.readFrac = 1.5 }, "-read-frac"},
+		{"negative tolerance", func(rc *runConfig) { rc.qpsTol = -0.1 }, "-qps-tolerance"},
+		{"tolerance without target", func(rc *runConfig) { rc.qpsTol = 0.05 }, "-qps-tolerance"},
+		{"chaos on one node", func(rc *runConfig) { rc.chaos = true; rc.nodes = 1 }, "-chaos"},
+		{"chaos window too wide", func(rc *runConfig) {
+			rc.chaos, rc.nodes = true, 2
+			rc.duration, rc.chaosAt, rc.chaosDown = time.Second, time.Second, time.Second
+		}, "chaos window"},
+		{"nonpositive chaos timings", func(rc *runConfig) {
+			rc.chaos, rc.nodes, rc.chaosAt = true, 2, 0
+			rc.chaosDown = time.Second
+		}, "-chaos-at"},
+	}
+	for _, c := range cases {
+		rc := ok
+		c.mut(&rc)
+		err := validate(rc)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name %q", c.name, err, c.want)
+		}
+	}
+}
+
+// The written-block tracker must stay bounded by the block count no
+// matter how many writes (rewrites included) a soak issues — the old
+// append-per-write slice grew without bound.
+func TestWrittenSetBounded(t *testing.T) {
+	const nblocks = 100
+	w := newWrittenSet(nblocks)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		w.add(uint32(rng.Intn(nblocks)))
+	}
+	if w.len() > nblocks {
+		t.Fatalf("writtenSet holds %d entries for %d blocks", w.len(), nblocks)
+	}
+	if w.len() == 0 {
+		t.Fatal("writtenSet recorded nothing")
+	}
+	// Every pick must be a block that was actually written.
+	seen := make(map[uint32]bool, w.len())
+	for _, b := range w.idx {
+		if b >= nblocks {
+			t.Fatalf("out-of-range block %d", b)
+		}
+		if seen[b] {
+			t.Fatalf("duplicate block %d in index", b)
+		}
+		seen[b] = true
+	}
+	for i := 0; i < 1000; i++ {
+		if b := w.pick(rng); !seen[b] {
+			t.Fatalf("pick returned unwritten block %d", b)
+		}
+	}
+}

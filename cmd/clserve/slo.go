@@ -7,43 +7,48 @@ import (
 	"strings"
 	"time"
 
-	"counterlight/internal/mcpool"
-	"counterlight/internal/obs/flight"
+	"counterlight/internal/cluster"
 	"counterlight/internal/obs/prof"
 )
 
-// sloLoop periodically feeds the evaluator from the pool's counters,
-// the profiler's submit→wait p99, and the flight recorder, so /health
-// serves a rolling verdict while the run is live. stop() runs one
-// final evaluation covering the tail window and returns it.
+// sloLoop periodically feeds the evaluator from the cluster's summed
+// counters and the worst live node's submit→wait p99, so /health
+// serves a rolling cluster-wide verdict while the run is live. stop()
+// runs one final evaluation covering the tail window and returns it.
 type sloLoop struct {
 	eval     *prof.Evaluator
-	pool     *mcpool.Pool
-	profiler *prof.Profiler
-	rec      *flight.Ring
+	cl       *cluster.Cluster
 	done     chan struct{}
 	finished chan struct{}
 }
 
-func newSLOLoop(e *prof.Evaluator, pool *mcpool.Pool, pf *prof.Profiler, rec *flight.Ring) *sloLoop {
+func newSLOLoop(e *prof.Evaluator, cl *cluster.Cluster) *sloLoop {
 	return &sloLoop{
-		eval: e, pool: pool, profiler: pf, rec: rec,
+		eval: e, cl: cl,
 		done: make(chan struct{}), finished: make(chan struct{}),
 	}
 }
 
 func (l *sloLoop) input() prof.SLOInput {
-	agg := l.pool.Aggregate()
-	sw := l.profiler.SubmitWait.Snapshot()
-	return prof.SLOInput{
-		SubmitP99Ns:    int64(sw.P99),
+	agg := l.cl.Aggregate()
+	in := prof.SLOInput{
+		// The SLO grades the worst node: a cluster is as slow as the
+		// controller your address happens to stripe onto.
+		SubmitP99Ns:    l.cl.SubmitP99(),
 		Writes:         agg.Writes,
 		DegradedWrites: agg.DegradedWrites,
-		// Drop fraction covers the profiler's contended-sample losses:
-		// measurement integrity is itself an objective.
-		Recorded: sw.Sampled,
-		Dropped:  sw.Dropped,
 	}
+	// Drop fraction covers the profilers' contended-sample losses:
+	// measurement integrity is itself an objective.
+	for _, pf := range l.cl.Profilers() {
+		if pf == nil {
+			continue
+		}
+		sw := pf.SubmitWait.Snapshot()
+		in.Recorded += sw.Sampled
+		in.Dropped += sw.Dropped
+	}
+	return in
 }
 
 func (l *sloLoop) start() {

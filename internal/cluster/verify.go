@@ -1,0 +1,260 @@
+package cluster
+
+// Chaos verification: prove that a cluster's history — including
+// every kill/restart — replays bit-identically. Each node's life is a
+// sequence of Segments (incarnations); within one segment the
+// per-shard journal is a total order over that shard's blocks, and
+// the incarnation began either empty (gen 0) or from an Entry.Apply
+// redo of its durable baseline. Both starting states have EMPTY
+// volatile tables (memoization, profiler estimates), so re-executing
+// the segment's journal on a fresh engine seeded the same way is
+// fully deterministic and must reproduce every journaled response —
+// plaintext, ReadInfo, and stored mode — bit for bit.
+//
+// Cross-checking re-execution (semantic redo of requests) against the
+// durable journal (Entry.Apply of snapshotted codewords) is the
+// point: the former proves the pool applied what it acknowledged, the
+// latter proves the durable log captured exactly the state a restart
+// will rebuild. A divergence in either direction is a Mismatch.
+
+import (
+	"fmt"
+
+	"counterlight/internal/core"
+	"counterlight/internal/epoch"
+	"counterlight/internal/mcpool"
+)
+
+// Mismatch is one verification failure, located by node incarnation
+// (Seg), shard, and journal seq.
+type Mismatch struct {
+	Node   int
+	Seg    int // segment index; == number of closed segments for the live one
+	Shard  int
+	Seq    uint64 // journal seq of the diverging op (0 for state diffs)
+	Detail string
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("node %d seg %d shard %d seq %d: %s", m.Node, m.Seg, m.Shard, m.Seq, m.Detail)
+}
+
+// Verify replays every node's full segment history. Requires the node
+// template to run with Journal and Persist on.
+func (c *Cluster) Verify() ([]Mismatch, error) {
+	var all []Mismatch
+	for i := range c.nodes {
+		ms, err := c.VerifyNode(i)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, ms...)
+	}
+	return all, nil
+}
+
+// History returns node i's full segment history: every closed
+// segment plus — when the node is live — a snapshot of the current
+// incarnation, its journal trimmed to the durable log's last seq so
+// the pair is consistent even under traffic. The live snapshot is
+// capped by snapshot order: apply() appends to the in-memory journal
+// and the durable log under one shard lock, so a journal snapshot
+// taken after the plog snapshot covers every seq the plog has.
+func (c *Cluster) History(i int) []Segment {
+	n := c.nodes[i]
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	segs := append([]Segment(nil), n.segs...)
+	if n.pool == nil {
+		return segs
+	}
+	shards := n.pool.NumShards()
+	live := Segment{Baseline: n.baseline, Plogs: make([][]byte, shards), Journals: make([][]mcpool.Applied, shards)}
+	for sh := 0; sh < shards; sh++ {
+		live.Plogs[sh] = n.pool.PersistedJournal(sh)
+		live.Journals[sh], live.Plogs[sh] = trimToPlog(n.pool.JournalOf(sh), live.Plogs[sh])
+	}
+	return append(segs, live)
+}
+
+// VerifyNode replays node i's closed segments plus — when the node is
+// live — its current incarnation. The live segment's final-state diff
+// against the live shard engines runs only once the cluster is
+// draining (quiesced); under traffic the replay still checks every
+// journaled response against the durable log captured at the same
+// seq.
+func (c *Cluster) VerifyNode(i int) ([]Mismatch, error) {
+	if !c.cfg.Node.Journal || !c.cfg.Node.Persist {
+		return nil, fmt.Errorf("cluster: verification needs Journal and Persist in the node config")
+	}
+	n := c.nodes[i]
+	n.mu.RLock()
+	nsegs := len(n.segs)
+	pool := n.pool
+	n.mu.RUnlock()
+	segs := c.History(i)
+
+	var ms []Mismatch
+	for segIdx, seg := range segs {
+		var finalEng func(sh int, fn func(*core.Engine))
+		if pool != nil && segIdx == nsegs && c.draining.Load() {
+			finalEng = func(sh int, fn func(*core.Engine)) { pool.WithShardEngine(sh, fn) }
+		}
+		for sh := range seg.Journals {
+			var base []byte
+			if seg.Baseline != nil {
+				base = seg.Baseline[sh]
+			}
+			ms = append(ms, c.verifyShard(i, segIdx, sh, base, seg.Journals[sh], seg.Plogs[sh], finalEng)...)
+		}
+	}
+	return ms, nil
+}
+
+// trimToPlog drops journal entries newer than the plog's last durable
+// seq, pairing the two snapshots at a single point in the shard's
+// apply order.
+func trimToPlog(journal []mcpool.Applied, plog []byte) ([]mcpool.Applied, []byte) {
+	entries, off, err := mcpool.DecodeJournal(plog)
+	if err != nil && err != mcpool.ErrTorn {
+		return journal, plog
+	}
+	plog = plog[:off]
+	var last uint64
+	if len(entries) > 0 {
+		last = entries[len(entries)-1].Seq
+	}
+	for len(journal) > 0 && journal[len(journal)-1].Seq > last {
+		journal = journal[:len(journal)-1]
+	}
+	return journal, plog
+}
+
+// verifyShard checks one (segment, shard): re-execute the in-memory
+// journal from the baseline, demanding bit-identical responses, then
+// diff the re-executed end state against an engine rebuilt purely
+// from the durable journal bytes — and, when finalEng is set, against
+// the live engine itself. base is the shard's durable baseline bytes
+// (nil for a first incarnation).
+func (c *Cluster) verifyShard(nodeID, segIdx, sh int, base []byte, journal []mcpool.Applied, plog []byte, finalEng func(int, func(*core.Engine))) []Mismatch {
+	mm := func(seq uint64, format string, args ...any) Mismatch {
+		return Mismatch{Node: nodeID, Seg: segIdx, Shard: sh, Seq: seq, Detail: fmt.Sprintf(format, args...)}
+	}
+	replay, err := c.freshEngine()
+	if err != nil {
+		return []Mismatch{mm(0, "replay engine: %v", err)}
+	}
+	if err := applyRaw(replay, base); err != nil {
+		return []Mismatch{mm(0, "baseline redo: %v", err)}
+	}
+	for _, a := range journal {
+		if d := reexecute(replay, a); d != "" {
+			// The shard's state has diverged; later ops would cascade.
+			return []Mismatch{mm(a.Seq, "%s", d)}
+		}
+	}
+	var ms []Mismatch
+	durable, err := c.freshEngine()
+	if err != nil {
+		return []Mismatch{mm(0, "durable engine: %v", err)}
+	}
+	if err := applyRaw(durable, plog); err != nil {
+		ms = append(ms, mm(0, "durable redo: %v", err))
+	} else if d := diffState(replay, durable); d != "" {
+		ms = append(ms, mm(0, "re-executed state vs durable log: %s", d))
+	}
+	if finalEng != nil {
+		finalEng(sh, func(liveE *core.Engine) {
+			if d := diffState(replay, liveE); d != "" {
+				ms = append(ms, mm(0, "re-executed state vs live engine: %s", d))
+			}
+		})
+	}
+	return ms
+}
+
+func (c *Cluster) freshEngine() (*core.Engine, error) {
+	return core.NewEngine(c.cfg.Node.Engine)
+}
+
+// applyRaw redoes a raw durable journal onto eng, tolerating a torn
+// tail (truncated, exactly as recovery would).
+func applyRaw(eng *core.Engine, raw []byte) error {
+	entries, _, err := mcpool.DecodeJournal(raw)
+	if err != nil && err != mcpool.ErrTorn {
+		return err
+	}
+	for _, e := range entries {
+		if err := e.Apply(eng); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reexecute applies one journaled request to the replay engine and
+// compares against the journaled response. Returns "" on bit-identity
+// or a mismatch description. Mirrors mcpool's apply: the journal
+// records the RESOLVED mode for Auto writes, so replay never needs
+// the queue state; Degraded is the one load-dependent field and is
+// not compared.
+func reexecute(eng *core.Engine, a mcpool.Applied) string {
+	req, want := a.Req, a.Resp
+	switch req.Kind {
+	case mcpool.OpRead:
+		plain, info, err := eng.Read(req.Addr)
+		switch {
+		case (err == nil) != (want.Err == nil):
+			return fmt.Sprintf("read %#x: replay err=%v, journaled err=%v", req.Addr, err, want.Err)
+		case plain != want.Plain:
+			return fmt.Sprintf("read %#x: plaintext differs from journaled response", req.Addr)
+		case info != want.Info:
+			return fmt.Sprintf("read %#x: ReadInfo %+v, journaled %+v", req.Addr, info, want.Info)
+		}
+	case mcpool.OpWrite:
+		err := eng.WriteAs(req.VM, req.Addr, req.Data, req.Mode)
+		if (err == nil) != (want.Err == nil) {
+			return fmt.Sprintf("write %#x: replay err=%v, journaled err=%v", req.Addr, err, want.Err)
+		}
+		applied := req.Mode
+		if err == nil && eng.IsPermanentCounterless(req.Addr) {
+			applied = epoch.Counterless
+		}
+		if applied != want.Mode {
+			return fmt.Sprintf("write %#x: replay stored %v, journal says %v", req.Addr, applied, want.Mode)
+		}
+	case mcpool.OpFault:
+		err := eng.InjectFault(req.Addr, req.Chip, req.Pattern)
+		if (err == nil) != (want.Err == nil) {
+			return fmt.Sprintf("fault %#x: replay err=%v, journaled err=%v", req.Addr, err, want.Err)
+		}
+	default:
+		return fmt.Sprintf("unknown journaled op kind %d", req.Kind)
+	}
+	return ""
+}
+
+// diffState compares two engines' full durable state surface:
+// presence, stored codeword, counter, VM ownership, and
+// permanent-counterless marking of every block.
+func diffState(got, want *core.Engine) string {
+	gb, wb := got.Blocks(), want.Blocks()
+	if len(gb) != len(wb) {
+		return fmt.Sprintf("%d blocks vs %d", len(gb), len(wb))
+	}
+	for _, a := range wb {
+		wcw, wok := want.Snapshot(a)
+		gcw, gok := got.Snapshot(a)
+		switch {
+		case wok != gok || wcw != gcw:
+			return fmt.Sprintf("block %#x codeword differs", a)
+		case want.Counters().Counter(a) != got.Counters().Counter(a):
+			return fmt.Sprintf("block %#x counter %d vs %d", a, got.Counters().Counter(a), want.Counters().Counter(a))
+		case want.IsPermanentCounterless(a) != got.IsPermanentCounterless(a):
+			return fmt.Sprintf("block %#x permanent-counterless differs", a)
+		case want.VMOf(a) != got.VMOf(a):
+			return fmt.Sprintf("block %#x vm %d vs %d", a, got.VMOf(a), want.VMOf(a))
+		}
+	}
+	return ""
+}

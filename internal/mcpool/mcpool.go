@@ -459,6 +459,11 @@ func (p *Pool) SubmitWait(req Request) Response {
 	ch := respChanPool.Get().(chan Response)
 	if err := p.submit(req, nil, ch); err != nil {
 		respChanPool.Put(ch)
+		// Errored submits are recorded too: every Start is matched by
+		// a Done, so refused requests (ErrClosed — a shutdown burst)
+		// show up in the submit-wait distribution instead of silently
+		// leaking out of the probe's count.
+		p.pSubmit.Done(t0)
 		return Response{Err: err}
 	}
 	resp := <-ch
@@ -859,6 +864,37 @@ func (p *Pool) WithShardEngine(i int, fn func(*core.Engine)) {
 	fn(s.eng)
 }
 
+// RestoreShard fast-forwards shard i of a freshly built pool to
+// recovered durable state: fn (if non-nil) redo-applies the recovered
+// journal entries to the shard engine under the shard lock, and the
+// shard's persistent journal bytes, apply seq, and durable flush epoch
+// are seeded from the recovered prefix — so journaling continues
+// exactly where the crashed pool's durable state left off, with no seq
+// reuse. plog must be the valid (complete-record) prefix of the dead
+// shard's persisted journal and seq the Seq of its last entry.
+//
+// The pool must not have applied any traffic yet: restoring over a
+// shard that has already journaled is an error. This is the low-level
+// seam; internal/nvm.RecoverShards drives it per shard with torn-tail
+// truncation.
+func (p *Pool) RestoreShard(i int, plog []byte, seq uint64, fn func(*core.Engine) error) error {
+	s := p.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seq != 0 || len(s.plog) > 0 {
+		return fmt.Errorf("mcpool: shard %d: cannot restore after traffic (seq %d)", i, s.seq)
+	}
+	if fn != nil {
+		if err := fn(s.eng); err != nil {
+			return err
+		}
+	}
+	s.plog = append(s.plog[:0], plog...)
+	s.seq = seq
+	s.durableSeq = seq
+	return nil
+}
+
 // JournalOf returns a copy of shard i's applied-op journal (empty
 // unless Config.Journal was set).
 func (p *Pool) JournalOf(i int) []Applied {
@@ -954,6 +990,25 @@ func (p *Pool) effectiveWatermark() int {
 // (negative when disabled): the configured static value, or the
 // adaptive controller's live value when AdaptiveWatermark is on.
 func (p *Pool) Watermark() int { return p.effectiveWatermark() }
+
+// Shedding reports whether any shard's queue currently sits at or past
+// the effective degradation watermark — i.e. an Auto write arriving
+// now would be demoted to counterless. This is the node-level health
+// signal a cluster admission policy consults; it is instantaneous
+// (channel-length reads, no locks) and false whenever degradation is
+// disabled.
+func (p *Pool) Shedding() bool {
+	w := p.effectiveWatermark()
+	if w < 0 {
+		return false
+	}
+	for _, s := range p.shards {
+		if len(s.q) >= w {
+			return true
+		}
+	}
+	return false
+}
 
 // WatermarkMoves returns how many times the adaptive controller has
 // moved the watermark (0 with the static policy).

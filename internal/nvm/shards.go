@@ -1,0 +1,79 @@
+package nvm
+
+// Sharded-pool recovery: where Engine/Domain model one serial engine's
+// persistence domain with step-granular crash injection, this file is
+// the recovery path for the *sharded* controller (internal/mcpool).
+// Each shard's persisted journal is an independent redo log in the
+// same wire format the serial domain journals, so a killed node's
+// durable state is exactly its per-shard journal bytes as of the last
+// FlushBarrier — and recovery is DecodeJournal (torn tails truncated)
+// plus Entry.Apply onto a fresh pool's shard engines.
+//
+// Replaying by redo, not re-execution, matters for the same reason it
+// does in Recover: the memoization table's shared write value W dies
+// with power, so a fresh engine re-executing the same writes would
+// pick different counters. Entry.Apply forces the journaled codeword,
+// counter, ownership, and permanent-counterless state instead, which
+// reproduces the dead engine's durable state bit for bit.
+
+import (
+	"fmt"
+
+	"counterlight/internal/core"
+	"counterlight/internal/mcpool"
+	"counterlight/internal/obs/flight"
+)
+
+// ShardRecovery describes one shard's rebuild from its persisted
+// journal bytes.
+type ShardRecovery struct {
+	Shard    int
+	Replayed int    // complete journal entries redo-applied
+	Torn     bool   // an incomplete tail was truncated (crash mid-append)
+	Seq      uint64 // apply seq after recovery (last durable entry, 0 if none)
+}
+
+// RecoverShards rebuilds a freshly created pool from the per-shard
+// persisted journals of a dead one. journals[i] is shard i's raw
+// persisted journal (mcpool.PersistedJournal bytes captured before the
+// kill, or read back from stable storage); a torn tail is truncated, a
+// corrupt record is an error. The pool must have the same shard count
+// and must not have served traffic yet (mcpool.RestoreShard's
+// contract); after a successful return it journals onward from each
+// shard's recovered seq. Every shard's recovery is recorded into rec
+// (KindRecovery, A = entries replayed, B = recovered seq); rec may be
+// nil.
+func RecoverShards(pool *mcpool.Pool, journals [][]byte, rec *flight.Ring) ([]ShardRecovery, error) {
+	if len(journals) != pool.NumShards() {
+		return nil, fmt.Errorf("nvm: %d shard journals for a %d-shard pool", len(journals), pool.NumShards())
+	}
+	out := make([]ShardRecovery, len(journals))
+	for i, raw := range journals {
+		entries, off, err := mcpool.DecodeJournal(raw)
+		torn := false
+		switch err {
+		case nil:
+		case mcpool.ErrTorn:
+			torn = true
+		default:
+			return nil, fmt.Errorf("nvm: shard %d journal: %w", i, err)
+		}
+		var seq uint64
+		if n := len(entries); n > 0 {
+			seq = entries[n-1].Seq
+		}
+		if err := pool.RestoreShard(i, raw[:off], seq, func(eng *core.Engine) error {
+			for _, e := range entries {
+				if err := e.Apply(eng); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("nvm: shard %d: %w", i, err)
+		}
+		out[i] = ShardRecovery{Shard: i, Replayed: len(entries), Torn: torn, Seq: seq}
+		rec.Record(flight.KindRecovery, int32(i), 0, int64(len(entries)), int64(seq))
+	}
+	return out, nil
+}

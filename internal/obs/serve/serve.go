@@ -89,6 +89,13 @@ func (s *Server) MergeRegistry(reg *obs.Registry) {
 	s.mergedMu.Unlock()
 }
 
+// Handle mounts an external handler on the server's mux — e.g. a
+// cluster's request-plane API under "/v1/". Register before
+// ListenAndServe; the pattern follows http.ServeMux syntax.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
